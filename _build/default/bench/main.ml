@@ -1,0 +1,653 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation section, plus extension/ablation experiments, plus a bechamel
+   micro-benchmark suite of the advisor's building blocks.
+
+     dune exec bench/main.exe                 # everything (paper exhibits)
+     dune exec bench/main.exe -- fig2 table3  # selected experiments
+     dune exec bench/main.exe -- quick        # tiny data scale, all exhibits
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+
+   Budgets: the paper reports disk budgets in MB against a 95 MB All-Index
+   configuration; we sweep the same *ratios* against our measured All-Index
+   size and print both the byte budget and the paper-equivalent MB. *)
+
+module Advisor = Xia_advisor.Advisor
+module Search = Xia_advisor.Search
+module Candidate = Xia_advisor.Candidate
+module Benefit = Xia_advisor.Benefit
+module Enumeration = Xia_advisor.Enumeration
+module Catalog = Xia_index.Catalog
+module Optimizer = Xia_optimizer.Optimizer
+module W = Xia_workload.Workload
+module Tpox = Xia_workload.Tpox
+module Xmark = Xia_workload.Xmark
+module Synthetic = Xia_workload.Synthetic
+
+let paper_all_index_mb = 95.0
+
+let quick = ref false
+
+let line = String.make 86 '-'
+
+let header title =
+  Format.printf "@.%s@.== %s@.%s@." line title line
+
+let tpox_catalog =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some c -> c
+    | None ->
+        let catalog = Catalog.create () in
+        if !quick then Tpox.load ~scale:Tpox.tiny_scale catalog else Tpox.load catalog;
+        memo := Some catalog;
+        catalog
+
+let paper_mb_of ~all_size bytes =
+  paper_all_index_mb *. float_of_int bytes /. float_of_int all_size
+
+let bytes_of_paper_mb ~all_size mb =
+  int_of_float (mb /. paper_all_index_mb *. float_of_int all_size)
+
+(* ---------- Table I / Algorithm 1: the running example ---------- *)
+
+let table1 () =
+  header
+    "Table I / Section V: basic candidates of Q1,Q2 and their generalization";
+  let catalog = tpox_catalog () in
+  let q1 =
+    {|for $sec in SECURITY('SDOC')/Security where $sec/Symbol = "BCIIPRC" return $sec|}
+  in
+  let q2 =
+    {|for $sec in SECURITY('SDOC')/Security[Yield>4.5] where $sec/SecInfo/*/Sector = "Energy" return <Security>{$sec/Name}</Security>|}
+  in
+  let wl = W.of_strings [ q1; q2 ] in
+  let set = Enumeration.candidates catalog wl in
+  Format.printf "Workload: the paper's Q1 and Q2.@.@.";
+  List.iter
+    (fun (c : Candidate.t) ->
+      Format.printf "  C%d  %-35s %-8s %s@." (c.Candidate.id + 1)
+        (Xia_xpath.Pattern.to_string c.Candidate.def.Xia_index.Index_def.pattern)
+        (Xia_index.Index_def.data_type_to_string c.Candidate.def.Xia_index.Index_def.dtype)
+        (match c.Candidate.origin with
+        | Candidate.Basic -> "(basic)"
+        | Candidate.General -> "(generalized)"))
+    (Candidate.to_list set);
+  Format.printf
+    "@.Paper: C1=/Security/Symbol, C2=/Security/SecInfo/*/Sector, C3=/Security/Yield,@.\
+     and generalization adds C4=/Security//* (string).@."
+
+(* ---------- Figure 2: estimated speedup vs disk budget ---------- *)
+
+let budget_fractions = [ 0.1; 0.2; 0.35; 0.5; 0.65; 0.8; 1.0; 1.25; 1.5; 2.0 ]
+
+let fig2 () =
+  header "Figure 2: estimated workload speedup vs disk space budget (TPoX, 11 queries)";
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let all_size = all.Advisor.outcome.Search.size in
+  Format.printf "All-Index configuration: %d indexes, %d KB, speedup %.2fx@.@."
+    (List.length all.Advisor.outcome.Search.config)
+    (all_size / 1024) all.Advisor.est_speedup;
+  Format.printf "%9s %9s | %8s %10s %9s %9s %8s | %9s@." "budget" "~paperMB"
+    "greedy" "heuristic" "td-lite" "td-full" "dp" "all-index";
+  Format.printf "%s@." line;
+  List.iter
+    (fun frac ->
+      let budget = int_of_float (frac *. float_of_int all_size) in
+      let sp alg = (Advisor.session_advise session ~budget alg).Advisor.est_speedup in
+      Format.printf "%8dK %8.0fM | %7.2fx %9.2fx %8.2fx %8.2fx %7.2fx | %8.2fx@."
+        (budget / 1024)
+        (paper_mb_of ~all_size budget)
+        (sp Advisor.Greedy) (sp Advisor.Greedy_heuristics) (sp Advisor.Top_down_lite)
+        (sp Advisor.Top_down_full) (sp Advisor.Dynamic_programming)
+        all.Advisor.est_speedup)
+    budget_fractions;
+  Format.printf
+    "@.Expected shape (paper): speedup rises with budget toward All-Index; plain@.\
+     greedy needs more space for the same speedup (it picks redundant indexes);@.\
+     heuristics/td-lite track each other; td-full is best and can beat DP.@."
+
+(* ---------- Figure 3: advisor run time vs disk budget ---------- *)
+
+let fig3 () =
+  header "Figure 3: advisor run time (fresh advisor per point) vs disk budget";
+  let catalog = tpox_catalog () in
+  (* A richer workload (11 TPoX + 29 synthetic queries) so the searches have
+     enough candidates for their run times to diverge. *)
+  let workload =
+    Tpox.workload ()
+    @ Synthetic.workload ~seed:5 catalog (Catalog.table_names catalog) 29
+  in
+  (* Measure the All-Index size once. *)
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let all_size = all.Advisor.outcome.Search.size in
+  Format.printf "%9s | %26s %26s %26s@." "~paperMB" "heuristic (s / calls)"
+    "td-lite (s / calls)" "td-full (s / calls)";
+  Format.printf "%s@." line;
+  let algorithms =
+    [ Advisor.Greedy_heuristics; Advisor.Top_down_lite; Advisor.Top_down_full ]
+  in
+  List.iter
+    (fun frac ->
+      let budget = int_of_float (frac *. float_of_int all_size) in
+      let cells =
+        List.map
+          (fun alg ->
+            let t0 = Sys.time () in
+            let r = Advisor.advise catalog workload ~budget alg in
+            let elapsed = Sys.time () -. t0 in
+            (elapsed, r.Advisor.outcome.Search.optimizer_calls))
+          algorithms
+      in
+      Format.printf "%8.0fM |" (paper_mb_of ~all_size budget);
+      List.iter (fun (s, c) -> Format.printf "    %10.3fs / %6d" s c) cells;
+      Format.printf "@.")
+    [ 0.25; 0.5; 1.0; 1.5; 2.0 ];
+  Format.printf
+    "@.Expected shape (paper): top-down full is the most expensive (up to ~7x the@.\
+     heuristic search) and gets cheaper as the budget grows (fewer replacements).@."
+
+(* ---------- Table III: number of candidate indexes ---------- *)
+
+let table3 () =
+  header "Table III: candidate counts for synthetic random-path workloads";
+  let catalog = tpox_catalog () in
+  let tables = Catalog.table_names catalog in
+  Format.printf "%8s | %12s | %12s | %8s@." "queries" "basic cands" "total cands"
+    "growth";
+  Format.printf "%s@." line;
+  List.iter
+    (fun n ->
+      let wl = Synthetic.workload ~seed:7 catalog tables n in
+      let set = Enumeration.candidates catalog wl in
+      let basic = List.length (Candidate.basics set) in
+      let total = Candidate.cardinality set in
+      Format.printf "%8d | %12d | %12d | %7.0f%%@." n basic total
+        (100.0 *. float_of_int (total - basic) /. float_of_int (max 1 basic)))
+    [ 10; 20; 30; 40; 50 ];
+  Format.printf
+    "@.Paper: 12->16, 23->34, 33->49, 42->60, 52->81 (expansion up to ~50%%).@."
+
+(* ---------- Table IV: general vs specific indexes recommended ---------- *)
+
+let table4 () =
+  header "Table IV: general (G) and specific (S) indexes recommended per budget";
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let all_size = all.Advisor.outcome.Search.size in
+  Format.printf "%10s | %16s | %16s | %16s@." "budget" "top-down lite" "top-down full"
+    "heuristics";
+  Format.printf "%s@." line;
+  List.iter
+    (fun paper_mb ->
+      let budget = bytes_of_paper_mb ~all_size paper_mb in
+      let gs alg =
+        let r = Advisor.session_advise session ~budget alg in
+        (r.Advisor.general_count, r.Advisor.specific_count)
+      in
+      let gl, sl = gs Advisor.Top_down_lite in
+      let gf, sf = gs Advisor.Top_down_full in
+      let gh, sh = gs Advisor.Greedy_heuristics in
+      Format.printf "%8.0fMB | %8s %7s | %8s %7s | %8s %7s@." paper_mb
+        (Printf.sprintf "G: %d" gl) (Printf.sprintf "S: %d" sl)
+        (Printf.sprintf "G: %d" gf) (Printf.sprintf "S: %d" sf)
+        (Printf.sprintf "G: %d" gh) (Printf.sprintf "S: %d" sh))
+    [ 100.0; 500.0; 1000.0; 2000.0 ];
+  Format.printf
+    "@.Paper: heuristics recommends (almost) no general indexes; top-down@.\
+     recommends more general indexes the more disk space it has.@."
+
+(* ---------- Figures 4 and 5: generalization to unseen queries ---------- *)
+
+let train_test_workloads () =
+  let catalog = tpox_catalog () in
+  let test = Tpox.workload () @ Tpox.variation_queries () in
+  (catalog, test)
+
+let fig4 () =
+  header "Figure 4: estimated speedup on a 20-query test workload vs training size";
+  let catalog, test = train_test_workloads () in
+  let session = Advisor.create_session catalog test in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let budget = bytes_of_paper_mb ~all_size:all.Advisor.outcome.Search.size 2000.0 in
+  Format.printf "(disk budget: paper-equivalent 2000 MB)@.@.";
+  Format.printf "%6s | %10s | %10s | %10s@." "train" "all-index" "td-lite" "heuristic";
+  Format.printf "%s@." line;
+  let ns = if !quick then [ 1; 5; 10; 15; 20 ] else [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
+  List.iter
+    (fun n ->
+      let train = W.prefix n test in
+      let td = Advisor.advise catalog train ~budget Advisor.Top_down_lite in
+      let h = Advisor.advise catalog train ~budget Advisor.Greedy_heuristics in
+      let sp r = Advisor.estimated_speedup catalog test (Advisor.indexes r) in
+      Format.printf "%6d | %9.2fx | %9.2fx | %9.2fx@." n all.Advisor.est_speedup (sp td)
+        (sp h))
+    ns;
+  Format.printf
+    "@.Expected shape (paper): top-down above the heuristic while the training@.\
+     workload is partial (generalization to unseen queries); both approach the@.\
+     All-Index line as training grows; the specific configuration wins at n=20.@."
+
+let fig5 () =
+  header "Figure 5: ACTUAL (executed) speedup on the test workload vs training size";
+  let catalog, test = train_test_workloads () in
+  let session = Advisor.create_session catalog test in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let budget = bytes_of_paper_mb ~all_size:all.Advisor.outcome.Search.size 2000.0 in
+  let _, base_cost, _ = Advisor.execute_workload catalog test [] in
+  let actual defs =
+    let _, cost, _ = Advisor.execute_workload catalog test defs in
+    base_cost /. cost
+  in
+  Format.printf "%6s | %10s | %10s | %10s@." "train" "all-index" "td-lite" "heuristic";
+  Format.printf "%s@." line;
+  let all_actual = actual (Advisor.indexes all) in
+  let ns = if !quick then [ 1; 10; 20 ] else [ 1; 4; 8; 12; 16; 20 ] in
+  List.iter
+    (fun n ->
+      let train = W.prefix n test in
+      let td = Advisor.advise catalog train ~budget Advisor.Top_down_lite in
+      let h = Advisor.advise catalog train ~budget Advisor.Greedy_heuristics in
+      Format.printf "%6d | %9.2fx | %9.2fx | %9.2fx@." n all_actual
+        (actual (Advisor.indexes td))
+        (actual (Advisor.indexes h)))
+    ns;
+  Format.printf
+    "@.Expected shape (paper): actual speedups corroborate the estimates, with@.\
+     smaller magnitudes (paper: up to ~7x actual vs thousands estimated).@."
+
+(* ---------- Extension: XMark ---------- *)
+
+let xmark () =
+  header "Extension (tech-report): XMark workload";
+  let catalog = Catalog.create () in
+  if !quick then Xmark.load ~scale:Xmark.tiny_scale catalog else Xmark.load catalog;
+  let workload = Xmark.workload () in
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let all_size = all.Advisor.outcome.Search.size in
+  Format.printf "Candidates: %d basic, %d total.  All-Index: %d KB, %.2fx@.@."
+    (List.length (Candidate.basics session.Advisor.candidates))
+    (Candidate.cardinality session.Advisor.candidates)
+    (all_size / 1024) all.Advisor.est_speedup;
+  Format.printf "%9s | %8s %10s %9s %9s %8s@." "budget" "greedy" "heuristic" "td-lite"
+    "td-full" "dp";
+  Format.printf "%s@." line;
+  List.iter
+    (fun frac ->
+      let budget = int_of_float (frac *. float_of_int all_size) in
+      let sp alg = (Advisor.session_advise session ~budget alg).Advisor.est_speedup in
+      Format.printf "%8dK | %7.2fx %9.2fx %8.2fx %8.2fx %7.2fx@." (budget / 1024)
+        (sp Advisor.Greedy) (sp Advisor.Greedy_heuristics) (sp Advisor.Top_down_lite)
+        (sp Advisor.Top_down_full) (sp Advisor.Dynamic_programming))
+    [ 0.25; 0.5; 1.0; 2.0 ]
+
+(* ---------- Extension: virtual-index cost accuracy ---------- *)
+
+let accuracy () =
+  header "Extension (tech-report): accuracy of virtual-index cost estimation";
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let defs = Advisor.indexes all in
+  (* Virtual vs materialized size. *)
+  Catalog.drop_all_indexes catalog;
+  Format.printf "%-55s %12s %12s %7s@." "index pattern" "est size" "real size" "ratio";
+  Format.printf "%s@." line;
+  List.iter
+    (fun (d : Xia_index.Index_def.t) ->
+      let est =
+        (Xia_index.Index_stats.derive_cached (Catalog.stats catalog d.table) d)
+          .Xia_index.Index_stats.size_bytes
+      in
+      let pi = Catalog.create_index catalog d in
+      let real = Xia_index.Physical_index.size_bytes pi in
+      Format.printf "%-55s %11dB %11dB %6.2f@."
+        (Printf.sprintf "%s %s" d.table (Xia_xpath.Pattern.to_string d.pattern))
+        est real
+        (float_of_int est /. float_of_int (max 1 real)))
+    defs;
+  (* Estimated vs executed cost per query, with all indexes in place. *)
+  Format.printf "@.%-6s %14s %14s %8s@." "query" "est cost" "actual work" "ratio";
+  Format.printf "%s@." line;
+  Catalog.set_virtual_indexes catalog defs;
+  List.iter
+    (fun (item : W.item) ->
+      let est = Optimizer.statement_cost ~mode:Optimizer.Evaluate catalog item.W.statement in
+      let actual =
+        (Xia_optimizer.Executor.run_statement catalog item.W.statement)
+          .Xia_optimizer.Executor.metrics
+          .Xia_optimizer.Executor.simulated_cost
+      in
+      Format.printf "%-6s %14.0f %14.0f %8.2f@." item.W.label est actual (est /. actual))
+    workload;
+  Catalog.clear_virtual_indexes catalog;
+  Catalog.drop_all_indexes catalog
+
+(* ---------- Extension: maintenance-cost sensitivity ---------- *)
+
+let maint () =
+  header "Extension (tech-report): maintenance cost vs update frequency";
+  let catalog = tpox_catalog () in
+  let budget = 64 * 1024 * 1024 in
+  Format.printf "%10s | %7s | %16s | %12s@." "DML freq" "indexes" "XORDER indexes"
+    "est speedup";
+  Format.printf "%s@." line;
+  List.iter
+    (fun update_freq ->
+      let wl = Tpox.workload_with_updates ~update_freq () in
+      let r = Advisor.advise catalog wl ~budget Advisor.Greedy_heuristics in
+      let on_orders =
+        List.length
+          (List.filter
+             (fun (d : Xia_index.Index_def.t) -> String.equal d.table Tpox.order_table)
+             (Advisor.indexes r))
+      in
+      Format.printf "%10.0f | %7d | %16d | %11.2fx@." update_freq
+        (List.length (Advisor.indexes r))
+        on_orders r.Advisor.est_speedup)
+    [ 0.0; 10.0; 1_000.0; 10_000.0; 100_000.0 ];
+  Format.printf "@.Indexes on the update-heavy table drop out as DML frequency rises.@."
+
+(* ---------- Ablation: the beta threshold of the heuristic search ---------- *)
+
+let beta () =
+  header "Ablation: beta size-expansion threshold (greedy with heuristics)";
+  let catalog = tpox_catalog () in
+  (* Synthetic queries produce overlapping patterns whose specific indexes
+     double-store entries, so a general index can undercut (1+beta) of their
+     total size. *)
+  let workload =
+    Tpox.workload ()
+    @ Synthetic.workload ~seed:5 catalog (Catalog.table_names catalog) 29
+  in
+  let session = Advisor.create_session catalog workload in
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let budget = 2 * all.Advisor.outcome.Search.size in
+  Format.printf "%8s | %8s %8s | %12s@." "beta" "G" "S" "est speedup";
+  Format.printf "%s@." line;
+  List.iter
+    (fun b ->
+      let r = Advisor.session_advise ~beta:b session ~budget Advisor.Greedy_heuristics in
+      Format.printf "%8.2f | %8d %8d | %11.2fx@." b r.Advisor.general_count
+        r.Advisor.specific_count r.Advisor.est_speedup)
+    [ 0.0; 0.1; 0.5; 1.0; 4.0 ];
+  Format.printf
+    "@.Paper uses beta = 0.10.  A general index is admitted only when it also@.beats its children on benefit, so beta binds rarely on index-friendly@.workloads.@."
+
+(* ---------- Ablation: histograms vs uniform range estimation ---------- *)
+
+let hist () =
+  header "Ablation: per-path histograms vs uniform-range selectivity";
+  (* A skewed table: 90% of values uniform in [0,100), tail to 1000. *)
+  let catalog = Catalog.create () in
+  let store = Xia_storage.Doc_store.create "SKEW" in
+  for i = 0 to 4999 do
+    let v =
+      if i mod 10 < 9 then float_of_int (i mod 100)
+      else float_of_int (100 + (i mod 900))
+    in
+    ignore
+      (Xia_storage.Doc_store.insert store
+         (Xia_xml.Parser.parse_exn (Printf.sprintf "<a><v>%.1f</v></a>" v)))
+  done;
+  ignore (Catalog.add_table catalog store);
+  ignore (Catalog.runstats catalog "SKEW");
+  Format.printf "%14s | %10s | %12s | %12s@." "predicate" "true docs" "est (hist)"
+    "est (uniform)";
+  Format.printf "%s@." line;
+  List.iter
+    (fun (label, q, truth) ->
+      let stmt = Xia_query.Parser.parse_statement_exn q in
+      let est flag =
+        let saved = !Xia_optimizer.Selectivity.use_histograms in
+        Xia_optimizer.Selectivity.use_histograms := flag;
+        let r =
+          match (Optimizer.optimize catalog stmt).Xia_optimizer.Plan.bindings with
+          | [ b ] -> b.Xia_optimizer.Plan.est_docs
+          | _ -> 0.0
+        in
+        Xia_optimizer.Selectivity.use_histograms := saved;
+        r
+      in
+      Format.printf "%14s | %10d | %12.0f | %12.0f@." label truth (est true) (est false))
+    [
+      ("v < 100", "for $x in SKEW/a where $x/v < 100 return $x", 4500);
+      ("v < 50", "for $x in SKEW/a where $x/v < 50 return $x", 2250);
+      ("v > 500", "for $x in SKEW/a where $x/v > 500 return $x", 250);
+      ("v > 900", "for $x in SKEW/a where $x/v > 900 return $x", 50);
+    ];
+  Format.printf
+    "@.Histograms track the skewed distribution; the uniform assumption misprices@.\
+     both ends, which misleads the doc-scan-vs-index-scan decision.@."
+
+(* ---------- Section VI-C: optimizer-call reduction ---------- *)
+
+let calls () =
+  header "Section VI-C: optimizer calls saved by affected sets + sub-config cache";
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  Format.printf "%-20s | %10s | %12s | %10s@." "algorithm" "calls" "naive calls"
+    "cache hits";
+  Format.printf "%s@." line;
+  List.iter
+    (fun alg ->
+      let set = Enumeration.candidates catalog workload in
+      let ev = Benefit.create catalog workload in
+      let session = { Advisor.catalog; workload; candidates = set; evaluator = ev } in
+      let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+      let budget = all.Advisor.outcome.Search.size in
+      (* Fresh evaluator so counters reflect only this search. *)
+      let ev = Benefit.create catalog workload in
+      let session = { Advisor.catalog; workload; candidates = set; evaluator = ev } in
+      let _ = Advisor.session_advise session ~budget alg in
+      let naive = (ev.Benefit.cache_hits + Hashtbl.length ev.Benefit.cache) * W.size workload in
+      Format.printf "%-20s | %10d | %12d | %10d@." (Advisor.algorithm_name alg)
+        ev.Benefit.evaluations naive ev.Benefit.cache_hits)
+    Advisor.all_algorithms;
+  Format.printf
+    "@.'naive calls' = what evaluating every requested (sub-)configuration against@.\
+     the whole workload would cost without affected sets and caching.@."
+
+(* ---------- Ablation: index ORing for disjunctive predicates ---------- *)
+
+let ixor () =
+  header "Ablation: index ORing (disjunctive predicates need an index per branch)";
+  let catalog = tpox_catalog () in
+  let q =
+    Xia_query.Parser.parse_statement_exn
+      {|for $c in CUSTACC('CADOC')/Customer where $c/Nationality = "Norway" or $c/CountryOfResidence = "Norway" return $c|}
+  in
+  let nat =
+    Xia_index.Index_def.make ~table:Tpox.custacc_table
+      ~pattern:(Xia_xpath.Pattern.of_string "/Customer/Nationality")
+      ~dtype:Xia_index.Index_def.Dstring ()
+  in
+  let residence =
+    Xia_index.Index_def.make ~table:Tpox.custacc_table
+      ~pattern:(Xia_xpath.Pattern.of_string "/Customer/CountryOfResidence")
+      ~dtype:Xia_index.Index_def.Dstring ()
+  in
+  Format.printf
+    "query: Nationality = \"Norway\" OR CountryOfResidence = \"Norway\"@.@.";
+  Format.printf "%-28s | %12s | %s@." "configuration" "est cost" "plan";
+  Format.printf "%s@." line;
+  List.iter
+    (fun (label, defs) ->
+      Catalog.set_virtual_indexes catalog defs;
+      let plan = Optimizer.optimize ~mode:Optimizer.Evaluate catalog q in
+      Catalog.clear_virtual_indexes catalog;
+      let shape =
+        match plan.Xia_optimizer.Plan.bindings with
+        | [ b ] -> Fmt.str "%a" Xia_optimizer.Plan.pp_binding_plan b.Xia_optimizer.Plan.plan
+        | _ -> "?"
+      in
+      Format.printf "%-28s | %12.0f | %s@." label plan.Xia_optimizer.Plan.total_cost shape)
+    [
+      ("no indexes", []);
+      ("Nationality only", [ nat ]);
+      ("CountryOfResidence only", [ residence ]);
+      ("both (index ORing)", [ nat; residence ]);
+    ];
+  Format.printf
+    "@.A disjunction is index-eligible only when every branch has an index; the@.\
+     advisor therefore recommends the pair together or not at all.@."
+
+(* ---------- Scalability: advisor cost vs workload size ---------- *)
+
+let scale () =
+  header "Scalability: advisor run time and optimizer calls vs workload size";
+  let catalog = tpox_catalog () in
+  let tables = Catalog.table_names catalog in
+  Format.printf "%8s | %8s | %8s | %10s | %10s | %9s@." "queries" "basic" "total"
+    "advise (s)" "calls" "speedup";
+  Format.printf "%s@." line;
+  List.iter
+    (fun n ->
+      let wl =
+        Tpox.workload () @ Synthetic.workload ~seed:13 catalog tables (n - 11)
+      in
+      let t0 = Sys.time () in
+      let set = Enumeration.candidates catalog wl in
+      let ev = Benefit.create catalog wl in
+      let session = { Advisor.catalog; workload = wl; candidates = set; evaluator = ev } in
+      let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+      let r =
+        Advisor.session_advise session ~budget:all.Advisor.outcome.Search.size
+          Advisor.Greedy_heuristics
+      in
+      Format.printf "%8d | %8d | %8d | %10.3f | %10d | %8.2fx@." n
+        (List.length (Candidate.basics set))
+        (Candidate.cardinality set) (Sys.time () -. t0) ev.Benefit.evaluations
+        r.Advisor.est_speedup)
+    [ 11; 20; 40; 60; 80; 100 ];
+  Format.printf
+    "@.End-to-end advisor cost grows roughly linearly in workload size thanks to@.\
+     affected sets and the sub-configuration cache.@."
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let micro () =
+  header "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  let stats = Catalog.stats catalog Tpox.security_table in
+  let doc =
+    let rng = Random.State.make [| 3 |] in
+    Tpox.security rng 0
+  in
+  let q2 =
+    Xia_query.Parser.parse_statement_exn
+      {|for $sec in SECURITY('SDOC')/Security[Yield>4.5] where $sec/SecInfo/*/Sector = "Energy" return $sec|}
+  in
+  let pat_g = Xia_xpath.Pattern.of_string "/Security//*" in
+  let pat_s = Xia_xpath.Pattern.of_string "/Security/SecInfo/*/Sector" in
+  let path = Xia_xpath.Parser.parse_exn "/Security[Yield>4.5]/SecInfo/*/Sector" in
+  let nfa_of p =
+    Xia_xpath.Nfa.of_steps
+      (List.map (fun s -> (s.Xia_xpath.Pattern.axis, s.Xia_xpath.Pattern.test)) p)
+  in
+  let tests =
+    [
+      Test.make ~name:"xpath.parse"
+        (Staged.stage (fun () ->
+             ignore (Xia_xpath.Parser.parse_exn "/Security[Yield>4.5]/SecInfo/*/Sector")));
+      Test.make ~name:"xpath.eval_doc"
+        (Staged.stage (fun () -> ignore (Xia_xpath.Eval.eval_doc doc path)));
+      Test.make ~name:"nfa.containment"
+        (Staged.stage (fun () ->
+             ignore (Xia_xpath.Nfa.contained (nfa_of pat_s) (nfa_of pat_g))));
+      Test.make ~name:"generalize.pair"
+        (Staged.stage (fun () ->
+             ignore
+               (Xia_advisor.Generalize.pair pat_s
+                  (Xia_xpath.Pattern.of_string "/Security/Symbol"))));
+      Test.make ~name:"optimizer.enumerate"
+        (Staged.stage (fun () -> ignore (Optimizer.enumerate_indexes catalog q2)));
+      Test.make ~name:"optimizer.evaluate"
+        (Staged.stage (fun () ->
+             ignore (Optimizer.statement_cost ~mode:Optimizer.Evaluate catalog q2)));
+      Test.make ~name:"stats.pattern_matching"
+        (Staged.stage (fun () ->
+             Hashtbl.reset (Hashtbl.create 0) |> ignore;
+             ignore (Xia_storage.Path_stats.matching stats pat_g)));
+      Test.make ~name:"advisor.enumerate_workload"
+        (Staged.stage (fun () -> ignore (Enumeration.basic_candidates catalog workload)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Format.printf "  %-32s %14.1f ns/run@." name est
+          | Some [] | None -> Format.printf "  %-32s (no estimate)@." name)
+        results)
+    tests
+
+(* ---------- main ---------- *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("table3", table3);
+    ("table4", table4);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("xmark", xmark);
+    ("accuracy", accuracy);
+    ("maint", maint);
+    ("beta", beta);
+    ("hist", hist);
+    ("calls", calls);
+    ("ixor", ixor);
+    ("scale", scale);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if String.equal a "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> List.map fst experiments @ [ "micro" ]
+    | l -> l
+  in
+  Format.printf "XML Index Advisor - experiment harness%s@."
+    (if !quick then " (quick scale)" else "");
+  List.iter
+    (fun name ->
+      if String.equal name "micro" then micro ()
+      else
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+            Format.printf "unknown experiment %S; available: %s, micro@." name
+              (String.concat ", " (List.map fst experiments)))
+    selected;
+  Format.printf "@.Done.@."

@@ -1,0 +1,381 @@
+(* Command-line front end for the XML Index Advisor.
+
+   xia_advise advise  --workload tpox --budget-mb 4 --algorithm heuristics
+   xia_advise explain --workload tpox --query "for $s in SECURITY('SDOC')/Security ..."
+   xia_advise candidates --workload tpox *)
+
+module Advisor = Xia_advisor.Advisor
+module Catalog = Xia_index.Catalog
+module Optimizer = Xia_optimizer.Optimizer
+module W = Xia_workload.Workload
+
+(* ---------- shared setup ---------- *)
+
+type benchmark = Tpox | Xmark
+
+(* Either generated benchmark data or user directories of XML files
+   ("TABLE=DIR" pairs). *)
+let load_catalog benchmark small data_dirs =
+  let catalog = Catalog.create () in
+  if data_dirs <> [] then begin
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None -> invalid_arg (Printf.sprintf "--data expects TABLE=DIR, got %S" spec)
+        | Some i ->
+            let table = String.sub spec 0 i in
+            let dir = String.sub spec (i + 1) (String.length spec - i - 1) in
+            let store = Xia_storage.Doc_store.create table in
+            let report = Xia_storage.Persist.load_directory store dir in
+            List.iter
+              (fun (file, err) -> Format.eprintf "warning: %s: %s@." file err)
+              report.Xia_storage.Persist.failed;
+            Format.printf "Loaded %d documents into %s from %s@."
+              report.Xia_storage.Persist.loaded table dir;
+            ignore (Catalog.add_table catalog store))
+      data_dirs;
+    Catalog.runstats_all catalog
+  end
+  else begin
+    match benchmark, small with
+    | Tpox, false -> Xia_workload.Tpox.load catalog
+    | Tpox, true -> Xia_workload.Tpox.load ~scale:Xia_workload.Tpox.tiny_scale catalog
+    | Xmark, false -> Xia_workload.Xmark.load catalog
+    | Xmark, true -> Xia_workload.Xmark.load ~scale:Xia_workload.Xmark.tiny_scale catalog
+  end;
+  catalog
+
+let base_workload benchmark update_freq synthetic workload_file catalog =
+  match workload_file with
+  | Some path -> W.of_file path
+  | None ->
+      let queries =
+        match benchmark with
+        | Tpox ->
+            if update_freq > 0.0 then
+              Xia_workload.Tpox.workload_with_updates ~update_freq ()
+            else Xia_workload.Tpox.workload ()
+        | Xmark -> Xia_workload.Xmark.workload ()
+      in
+      if synthetic = 0 then queries
+      else
+        queries
+        @ Xia_workload.Synthetic.workload catalog (Catalog.table_names catalog) synthetic
+
+let algorithm_of_string = function
+  | "greedy" -> Ok Advisor.Greedy
+  | "heuristics" | "greedy-heuristics" -> Ok Advisor.Greedy_heuristics
+  | "top-down-lite" | "tdlite" -> Ok Advisor.Top_down_lite
+  | "top-down-full" | "tdfull" -> Ok Advisor.Top_down_full
+  | "dp" | "dynamic-programming" -> Ok Advisor.Dynamic_programming
+  | "all" | "all-index" -> Ok Advisor.All_index
+  | s -> Error (Printf.sprintf "unknown algorithm %S" s)
+
+(* ---------- commands ---------- *)
+
+let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
+    update_freq synthetic verbose =
+  let catalog = load_catalog benchmark small data_dirs in
+  let workload = base_workload benchmark update_freq synthetic workload_file catalog in
+  match algorithm_of_string algorithm with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok alg ->
+      let budget = int_of_float (budget_mb *. 1024.0 *. 1024.0) in
+      let t0 = Sys.time () in
+      let r = Advisor.advise ~beta catalog workload ~budget alg in
+      let elapsed = Sys.time () -. t0 in
+      Format.printf "%a@." Advisor.pp_recommendation r;
+      Format.printf
+        "base cost %.0f -> new cost %.0f (estimated speedup %.2fx)@.advisor time %.2fs, optimizer calls %d@."
+        r.Advisor.base_cost r.Advisor.new_cost r.Advisor.est_speedup elapsed
+        r.Advisor.outcome.Xia_advisor.Search.optimizer_calls;
+      if verbose then begin
+        Format.printf "@.Workload:@.%a@." W.pp workload
+      end;
+      0
+
+let explain_cmd benchmark small data_dirs query with_recommended =
+  let catalog = load_catalog benchmark small data_dirs in
+  match Xia_query.Sqlxml.parse_any query with
+  | Error msg ->
+      prerr_endline msg;
+      1
+  | Ok (`Xquery stmt) | Ok (`Sqlxml stmt) ->
+      Format.printf "Statement: %s@.@." (Xia_query.Printer.statement_to_string stmt);
+      Format.printf "Indexable patterns (Enumerate Indexes mode):@.";
+      let candidates = Optimizer.enumerate_indexes catalog stmt in
+      List.iter
+        (fun (table, pattern, dtype) ->
+          Format.printf "  %s on %s AS %s@."
+            (Xia_xpath.Pattern.to_string pattern)
+            table
+            (Xia_index.Index_def.data_type_to_string dtype))
+        candidates;
+      Format.printf "@.Plan without indexes:@.  %a@."
+        Xia_optimizer.Plan.pp
+        (Optimizer.optimize ~mode:Optimizer.Evaluate catalog stmt);
+      if with_recommended then begin
+        let defs =
+          List.map
+            (fun (table, pattern, dtype) -> Xia_index.Index_def.make ~table ~pattern ~dtype ())
+            candidates
+        in
+        Catalog.set_virtual_indexes catalog defs;
+        Format.printf "@.Plan with every candidate indexed (virtually):@.  %a@."
+          Xia_optimizer.Plan.pp
+          (Optimizer.optimize ~mode:Optimizer.Evaluate catalog stmt);
+        Catalog.clear_virtual_indexes catalog
+      end;
+      0
+
+let candidates_cmd benchmark small data_dirs workload_file update_freq synthetic =
+  let catalog = load_catalog benchmark small data_dirs in
+  let workload = base_workload benchmark update_freq synthetic workload_file catalog in
+  let set = Xia_advisor.Enumeration.candidates catalog workload in
+  Format.printf "Workload: %d statements@." (W.size workload);
+  Format.printf "Basic candidates: %d, total after generalization: %d@.@."
+    (List.length (Xia_advisor.Candidate.basics set))
+    (Xia_advisor.Candidate.cardinality set);
+  List.iter
+    (fun c ->
+      Format.printf "  %a (size %d KB)@." Xia_advisor.Candidate.pp c
+        (Xia_advisor.Candidate.size catalog c / 1024))
+    (Xia_advisor.Candidate.to_list set);
+  0
+
+(* What-if: evaluate a user-supplied configuration. *)
+let whatif_cmd benchmark small data_dirs workload_file update_freq synthetic index_specs =
+  let catalog = load_catalog benchmark small data_dirs in
+  let workload = base_workload benchmark update_freq synthetic workload_file catalog in
+  let parse_spec spec =
+    match String.split_on_char ':' spec with
+    | [ table; pattern; dtype ] ->
+        let dtype =
+          match String.uppercase_ascii dtype with
+          | "VARCHAR" | "STRING" | "S" -> Xia_index.Index_def.Dstring
+          | "DOUBLE" | "NUMBER" | "D" -> Xia_index.Index_def.Ddouble
+          | other -> invalid_arg (Printf.sprintf "unknown type %S" other)
+        in
+        Xia_index.Index_def.make ~table
+          ~pattern:(Xia_xpath.Pattern.of_string pattern) ~dtype ()
+    | _ -> invalid_arg (Printf.sprintf "--index expects TABLE:PATTERN:TYPE, got %S" spec)
+  in
+  match List.map parse_spec index_specs with
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
+      1
+  | defs ->
+      let report = Xia_advisor.Report.evaluate_configuration catalog workload defs in
+      Format.printf "%a@." Xia_advisor.Report.pp report;
+      0
+
+(* Review a materialized configuration: recommend drops. *)
+let review_cmd benchmark small data_dirs workload_file update_freq synthetic index_specs =
+  let catalog = load_catalog benchmark small data_dirs in
+  let workload = base_workload benchmark update_freq synthetic workload_file catalog in
+  let parse_spec spec =
+    match String.split_on_char ':' spec with
+    | [ table; pattern; dtype ] ->
+        let dtype =
+          match String.uppercase_ascii dtype with
+          | "VARCHAR" | "STRING" | "S" -> Xia_index.Index_def.Dstring
+          | "DOUBLE" | "NUMBER" | "D" -> Xia_index.Index_def.Ddouble
+          | other -> invalid_arg (Printf.sprintf "unknown type %S" other)
+        in
+        Xia_index.Index_def.make ~table
+          ~pattern:(Xia_xpath.Pattern.of_string pattern) ~dtype ()
+    | _ -> invalid_arg (Printf.sprintf "--index expects TABLE:PATTERN:TYPE, got %S" spec)
+  in
+  match List.map parse_spec index_specs with
+  | exception Invalid_argument msg ->
+      prerr_endline msg;
+      1
+  | defs ->
+      List.iter (fun d -> ignore (Catalog.create_index catalog d)) defs;
+      let drops = Advisor.drop_recommendations catalog workload in
+      if drops = [] then Format.printf "No drops recommended: every index earns its keep.@."
+      else begin
+        Format.printf "Recommended drops:@.";
+        List.iter
+          (fun (d, reason) ->
+            Format.printf "  DROP INDEX %s  -- %a@." d.Xia_index.Index_def.name
+              Advisor.pp_drop_reason reason)
+          drops
+      end;
+      0
+
+(* Generate benchmark data to directories of XML files. *)
+let generate_cmd benchmark small out_dir =
+  let catalog = load_catalog benchmark small [] in
+  List.iter
+    (fun table ->
+      let dir = Filename.concat out_dir table in
+      Xia_storage.Persist.save_directory (Catalog.store catalog table) dir;
+      Format.printf "%s: %d documents -> %s@." table
+        (Xia_storage.Doc_store.doc_count (Catalog.store catalog table))
+        dir)
+    (Catalog.table_names catalog);
+  0
+
+(* Show the dataguide with statistics: the DBA's view of RUNSTATS. *)
+let stats_cmd benchmark small data_dirs =
+  let catalog = load_catalog benchmark small data_dirs in
+  List.iter
+    (fun table ->
+      let stats = Catalog.stats catalog table in
+      Format.printf "@.Table %s: %d documents, %d elements, %d KB, %d distinct paths@."
+        table stats.Xia_storage.Path_stats.doc_count
+        stats.Xia_storage.Path_stats.total_elements
+        (stats.Xia_storage.Path_stats.total_bytes / 1024)
+        (Xia_storage.Path_stats.path_count stats);
+      Format.printf "%-55s %8s %8s %9s %8s@." "path" "nodes" "docs" "distinct" "numeric";
+      Xia_storage.Path_stats.iter
+        (fun info ->
+          Format.printf "%-55s %8d %8d %9d %7.0f%%@." info.Xia_storage.Path_stats.path_key
+            info.Xia_storage.Path_stats.node_count info.Xia_storage.Path_stats.doc_count
+            info.Xia_storage.Path_stats.distinct_values
+            (100.0
+            *. float_of_int info.Xia_storage.Path_stats.numeric_count
+            /. float_of_int (max 1 info.Xia_storage.Path_stats.node_count)))
+        stats)
+    (Catalog.table_names catalog);
+  0
+
+(* ---------- cmdliner wiring ---------- *)
+
+open Cmdliner
+
+let benchmark_arg =
+  let bench_conv = Arg.enum [ ("tpox", Tpox); ("xmark", Xmark) ] in
+  Arg.(value & opt bench_conv Tpox & info [ "workload"; "w" ] ~doc:"Benchmark: tpox or xmark.")
+
+let small_arg =
+  Arg.(value & flag & info [ "small" ] ~doc:"Use a tiny data scale (fast).")
+
+let data_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "data" ]
+        ~doc:"Load a table from a directory of XML files: TABLE=DIR (repeatable).")
+
+let workload_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload-file"; "f" ]
+        ~doc:"Read the workload from a file (one statement per line, optional 'freq|' prefix; XQuery or SQL/XML).")
+
+let index_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "index"; "i" ]
+        ~doc:"Index to evaluate: TABLE:PATTERN:TYPE, e.g. SECURITY:/Security/Symbol:VARCHAR (repeatable).")
+
+let budget_arg =
+  Arg.(value & opt float 4.0 & info [ "budget-mb"; "b" ] ~doc:"Disk budget in MB.")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt string "heuristics"
+    & info [ "algorithm"; "a" ]
+        ~doc:
+          "Search algorithm: greedy, heuristics, top-down-lite, top-down-full, dp or all-index.")
+
+let beta_arg =
+  Arg.(
+    value & opt float 0.10
+    & info [ "beta" ] ~doc:"Size-expansion threshold for general indexes.")
+
+let updates_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "update-freq" ] ~doc:"Frequency of the DML statements (TPoX only; 0 = none).")
+
+let synthetic_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "synthetic" ] ~doc:"Append N synthetic random-path queries.")
+
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the workload.")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "query"; "q" ] ~doc:"Statement to explain (mini-XQuery).")
+
+let with_recommended_arg =
+  Arg.(
+    value & flag
+    & info [ "with-indexes" ] ~doc:"Also show the plan with all candidates indexed.")
+
+let advise_term =
+  Term.(
+    const advise_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
+    $ budget_arg $ algorithm_arg $ beta_arg $ updates_arg $ synthetic_arg $ verbose_arg)
+
+let explain_term =
+  Term.(
+    const explain_cmd $ benchmark_arg $ small_arg $ data_arg $ query_arg
+    $ with_recommended_arg)
+
+let candidates_term =
+  Term.(
+    const candidates_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
+    $ updates_arg $ synthetic_arg)
+
+let whatif_term =
+  Term.(
+    const whatif_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
+    $ updates_arg $ synthetic_arg $ index_arg)
+
+let out_dir_arg =
+  Arg.(
+    value & opt string "./xia-data"
+    & info [ "out"; "o" ] ~doc:"Output directory (one subdirectory per table).")
+
+let generate_term = Term.(const generate_cmd $ benchmark_arg $ small_arg $ out_dir_arg)
+
+let review_term =
+  Term.(
+    const review_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
+    $ updates_arg $ synthetic_arg $ index_arg)
+
+let stats_term = Term.(const stats_cmd $ benchmark_arg $ small_arg $ data_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "advise" ~doc:"Recommend an index configuration.") advise_term;
+    Cmd.v (Cmd.info "explain" ~doc:"Show candidates and plans for one statement.") explain_term;
+    Cmd.v
+      (Cmd.info "candidates" ~doc:"Show the candidate set (basic + generalized).")
+      candidates_term;
+    Cmd.v
+      (Cmd.info "whatif" ~doc:"Evaluate a user-supplied index configuration (what-if).")
+      whatif_term;
+    Cmd.v
+      (Cmd.info "generate" ~doc:"Write benchmark data to directories of XML files.")
+      generate_term;
+    Cmd.v
+      (Cmd.info "review"
+         ~doc:"Materialize a configuration and recommend drops (unused or update-swamped).")
+      review_term;
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Show the dataguide (paths with statistics) of each table.")
+      stats_term;
+  ]
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level
+    (if Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv then
+       Some Logs.Info
+     else Some Logs.Warning);
+  let info =
+    Cmd.info "xia_advise" ~version:"1.0.0"
+      ~doc:"XML Index Advisor with tight optimizer coupling (ICDE 2008 reproduction)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

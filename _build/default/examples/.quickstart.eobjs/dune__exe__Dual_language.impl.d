@@ -1,0 +1,1 @@
+examples/dual_language.ml: Format List Printf String Xia_advisor Xia_index Xia_query Xia_workload Xia_xpath

@@ -1,0 +1,1 @@
+examples/evolving_workload.ml: Format List String Xia_advisor Xia_index Xia_workload

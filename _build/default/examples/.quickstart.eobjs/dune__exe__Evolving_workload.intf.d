@@ -1,0 +1,1 @@
+examples/evolving_workload.mli:

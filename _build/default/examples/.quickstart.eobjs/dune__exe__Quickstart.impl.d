@@ -1,0 +1,1 @@
+examples/quickstart.ml: Float Format List Random Xia_advisor Xia_index Xia_optimizer Xia_storage Xia_workload Xia_xpath

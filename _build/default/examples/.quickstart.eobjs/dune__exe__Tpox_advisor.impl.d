@@ -1,0 +1,1 @@
+examples/tpox_advisor.ml: Format List String Xia_advisor Xia_index Xia_storage Xia_workload

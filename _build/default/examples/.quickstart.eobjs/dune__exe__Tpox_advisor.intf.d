@@ -1,0 +1,1 @@
+examples/tpox_advisor.mli:

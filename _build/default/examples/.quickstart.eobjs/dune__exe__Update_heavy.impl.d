@@ -1,0 +1,1 @@
+examples/update_heavy.ml: Format List String Xia_advisor Xia_index Xia_workload

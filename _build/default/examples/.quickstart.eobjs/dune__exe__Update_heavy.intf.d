@@ -1,0 +1,1 @@
+examples/update_heavy.mli:

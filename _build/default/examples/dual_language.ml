@@ -1,0 +1,58 @@
+(* Dual-language support: the same workload written in mini-XQuery and in
+   SQL/XML produces identical candidates, identical plans and an identical
+   recommendation — the paper's point that optimizer coupling makes the
+   advisor language-agnostic ("our XML Index Advisor implementation in DB2
+   supports both XQuery and SQL/XML simply by virtue of the fact that the
+   DB2 query optimizer supports both").
+
+     dune exec examples/dual_language.exe *)
+
+module Advisor = Xia_advisor.Advisor
+module Catalog = Xia_index.Catalog
+module W = Xia_workload.Workload
+
+let xquery_workload =
+  [
+    {|for $sec in SECURITY('SDOC')/Security where $sec/Symbol = "SYM00042" return $sec|};
+    {|for $sec in SECURITY('SDOC')/Security[Yield>4.5] return $sec|};
+    {|for $cust in CUSTACC('CADOC')/Customer where $cust/Nationality = "Norway" return $cust|};
+  ]
+
+let sqlxml_workload =
+  [
+    {|SELECT * FROM SECURITY WHERE XMLEXISTS('$d/Security[Symbol="SYM00042"]' PASSING SDOC AS "d")|};
+    {|SELECT * FROM SECURITY WHERE XMLEXISTS('$d/Security[Yield>4.5]' PASSING SDOC AS "d")|};
+    {|SELECT * FROM CUSTACC WHERE XMLEXISTS('$d/Customer[Nationality="Norway"]' PASSING CADOC AS "d")|};
+  ]
+
+let parse_sql s = Xia_query.Sqlxml.parse_statement_exn s
+
+let recommend catalog wl =
+  Advisor.advise catalog wl ~budget:(8 * 1024 * 1024) Advisor.Greedy_heuristics
+
+let ddl r =
+  List.sort String.compare
+    (List.map
+       (fun (d : Xia_index.Index_def.t) ->
+         Printf.sprintf "%s XMLPATTERN '%s' AS %s" d.table
+           (Xia_xpath.Pattern.to_string d.pattern)
+           (Xia_index.Index_def.data_type_to_string d.dtype))
+       (Advisor.indexes r))
+
+let () =
+  let catalog = Catalog.create () in
+  Xia_workload.Tpox.load catalog;
+  let xq = W.of_strings xquery_workload in
+  let sql = W.of_statements (List.map parse_sql sqlxml_workload) in
+  Format.printf "XQuery workload:@.";
+  List.iter (fun s -> Format.printf "  %s@." s) xquery_workload;
+  Format.printf "@.SQL/XML workload:@.";
+  List.iter (fun s -> Format.printf "  %s@." s) sqlxml_workload;
+  let rx = recommend catalog xq in
+  let rs = recommend catalog sql in
+  Format.printf "@.Recommendation from the XQuery form:@.";
+  List.iter (Format.printf "  CREATE INDEX ON %s@.") (ddl rx);
+  Format.printf "@.Recommendation from the SQL/XML form:@.";
+  List.iter (Format.printf "  CREATE INDEX ON %s@.") (ddl rs);
+  Format.printf "@.Identical: %b (speedups %.2fx vs %.2fx)@."
+    (ddl rx = ddl rs) rx.Advisor.est_speedup rs.Advisor.est_speedup

@@ -1,0 +1,64 @@
+(* Full TPoX scenario: generate the three-table TPoX-like database, run every
+   search algorithm at several disk budgets, and validate the best
+   configuration by actually executing the workload.
+
+     dune exec examples/tpox_advisor.exe *)
+
+module Advisor = Xia_advisor.Advisor
+module Search = Xia_advisor.Search
+module Catalog = Xia_index.Catalog
+module W = Xia_workload.Workload
+
+let () =
+  let catalog = Catalog.create () in
+  Format.printf "Generating TPoX data...@.";
+  Xia_workload.Tpox.load catalog;
+  List.iter
+    (fun t ->
+      let s = Catalog.store catalog t in
+      Format.printf "  %-10s %6d docs %8d KB@." t
+        (Xia_storage.Doc_store.doc_count s)
+        (Xia_storage.Doc_store.total_bytes s / 1024))
+    (Catalog.table_names catalog);
+
+  let workload = Xia_workload.Tpox.workload () in
+  Format.printf "@.Workload: the 11 TPoX queries.@.";
+
+  let session = Advisor.create_session catalog workload in
+  Format.printf "Candidates: %d basic, %d after generalization.@.@."
+    (List.length (Xia_advisor.Candidate.basics session.Advisor.candidates))
+    (Xia_advisor.Candidate.cardinality session.Advisor.candidates);
+
+  let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+  let all_size = all.Advisor.outcome.Search.size in
+  Format.printf "All-Index configuration: %d indexes, %d KB, est speedup %.2fx@.@."
+    (List.length all.Advisor.outcome.Search.config)
+    (all_size / 1024) all.Advisor.est_speedup;
+
+  Format.printf "%-10s | %-20s %4s %2s %2s %9s %8s %6s@." "budget" "algorithm" "idx"
+    "G" "S" "size(KB)" "speedup" "calls";
+  Format.printf "%s@." (String.make 78 '-');
+  List.iter
+    (fun frac ->
+      let budget = int_of_float (frac *. float_of_int all_size) in
+      List.iter
+        (fun alg ->
+          let r = Advisor.session_advise session ~budget alg in
+          Format.printf "%8.2fx | %-20s %4d %2d %2d %9d %7.2fx %6d@." frac
+            (Advisor.algorithm_name alg)
+            (List.length r.Advisor.outcome.Search.config)
+            r.Advisor.general_count r.Advisor.specific_count
+            (r.Advisor.outcome.Search.size / 1024)
+            r.Advisor.est_speedup r.Advisor.outcome.Search.optimizer_calls)
+        Advisor.all_algorithms;
+      Format.printf "%s@." (String.make 78 '-'))
+    [ 0.25; 0.5; 1.0; 2.0 ];
+
+  (* Validate the winning configuration by real execution. *)
+  let best = Advisor.session_advise session ~budget:all_size Advisor.Greedy_heuristics in
+  Format.printf "@.Recommended DDL (greedy+heuristics at 1.0x):@.";
+  List.iter
+    (fun d -> Format.printf "  CREATE INDEX %a@." Xia_index.Index_def.pp d)
+    (Advisor.indexes best);
+  let actual = Advisor.actual_speedup catalog workload (Advisor.indexes best) in
+  Format.printf "@.Actual measured speedup of that configuration: %.2fx@." actual

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Benefit Candidate Enumeration Fmt List Logs Report Search Sys Xia_index Xia_optimizer Xia_workload

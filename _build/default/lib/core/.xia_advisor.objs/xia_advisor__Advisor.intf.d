@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Benefit Candidate Format Search Xia_index Xia_workload

@@ -1,0 +1,1 @@
+lib/core/benefit.ml: Array Candidate Hashtbl List Option String Xia_index Xia_optimizer Xia_query Xia_workload

@@ -1,0 +1,1 @@
+lib/core/benefit.mli: Candidate Hashtbl Xia_index Xia_workload

@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Fmt Hashtbl Int List Printf Set String Xia_index Xia_xpath

@@ -1,0 +1,1 @@
+lib/core/enumeration.ml: Candidate Generalize List Xia_index Xia_optimizer Xia_workload

@@ -1,0 +1,1 @@
+lib/core/enumeration.mli: Candidate Xia_index Xia_workload

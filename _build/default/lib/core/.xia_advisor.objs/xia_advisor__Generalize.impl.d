@@ -1,0 +1,1 @@
+lib/core/generalize.ml: Candidate Hashtbl List Queue String Xia_index Xia_xpath

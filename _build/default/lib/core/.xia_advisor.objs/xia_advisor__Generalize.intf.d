@@ -1,0 +1,1 @@
+lib/core/generalize.mli: Candidate Xia_xpath

@@ -1,0 +1,1 @@
+lib/core/report.ml: Fmt List String Xia_index Xia_optimizer Xia_query Xia_workload

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Benefit Candidate Float Fmt Hashtbl List String Sys Xia_index Xia_storage Xia_xpath

@@ -1,0 +1,204 @@
+(* The XML Index Advisor: end-to-end recommendation pipeline.
+
+   enumerate (optimizer, Enumerate Indexes mode)
+     → generalize (fixpoint + DAG)
+     → search (one of five algorithms, under a disk budget)
+     → recommendation with estimated speedup and optimizer-call accounting. *)
+
+module Catalog = Xia_index.Catalog
+module Index_def = Xia_index.Index_def
+module Workload = Xia_workload.Workload
+module Optimizer = Xia_optimizer.Optimizer
+module Executor = Xia_optimizer.Executor
+
+let log_src = Logs.Src.create "xia.advisor" ~doc:"XML Index Advisor phases"
+
+module Log = (val Logs.src_log log_src)
+
+let timed what f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Log.info (fun m -> m "%s: %.3fs" what (Sys.time () -. t0));
+  r
+
+type algorithm =
+  | Greedy
+  | Greedy_heuristics
+  | Top_down_lite
+  | Top_down_full
+  | Dynamic_programming
+  | All_index
+
+let algorithm_name = function
+  | Greedy -> "greedy"
+  | Greedy_heuristics -> "greedy+heuristics"
+  | Top_down_lite -> "top-down lite"
+  | Top_down_full -> "top-down full"
+  | Dynamic_programming -> "dynamic programming"
+  | All_index -> "all index"
+
+let all_algorithms =
+  [ Greedy; Greedy_heuristics; Top_down_lite; Top_down_full; Dynamic_programming ]
+
+type recommendation = {
+  algorithm : algorithm;
+  outcome : Search.outcome;
+  base_cost : float;       (* workload cost with no indexes *)
+  new_cost : float;        (* workload cost under the recommendation *)
+  est_speedup : float;     (* base / new *)
+  general_count : int;
+  specific_count : int;
+}
+
+let indexes r = List.map (fun c -> c.Candidate.def) r.outcome.Search.config
+
+let run_search ?beta ev set ~budget = function
+  | Greedy -> Search.greedy ev set ~budget
+  | Greedy_heuristics -> Search.greedy_heuristics ?beta ev set ~budget
+  | Top_down_lite -> Search.top_down_lite ev set ~budget
+  | Top_down_full -> Search.top_down_full ev set ~budget
+  | Dynamic_programming -> Search.dynamic_programming ev set ~budget
+  | All_index -> Search.all_index ev set
+
+let summarize ev algorithm (outcome : Search.outcome) =
+  let base_cost = Benefit.base_workload_cost ev in
+  let new_cost = Benefit.workload_cost ev outcome.Search.config in
+  let general_count =
+    List.length (List.filter Candidate.is_general outcome.Search.config)
+  in
+  {
+    algorithm;
+    outcome;
+    base_cost;
+    new_cost;
+    est_speedup = (if new_cost > 0.0 then base_cost /. new_cost else 1.0);
+    general_count;
+    specific_count = List.length outcome.Search.config - general_count;
+  }
+
+(* One-shot advise: builds candidates and an evaluator internally. *)
+let advise ?beta catalog workload ~budget algorithm =
+  let set = timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload) in
+  Log.info (fun m ->
+      m "candidates: %d basic, %d total"
+        (List.length (Candidate.basics set))
+        (Candidate.cardinality set));
+  let ev = timed "base cost evaluation" (fun () -> Benefit.create catalog workload) in
+  let outcome =
+    timed (algorithm_name algorithm) (fun () -> run_search ?beta ev set ~budget algorithm)
+  in
+  summarize ev algorithm outcome
+
+(* Shared-candidate variant for sweeps: reuse the candidate set and evaluator
+   across budgets/algorithms (the sub-configuration cache carries over, as in
+   a long-running advisor session). *)
+type session = {
+  catalog : Catalog.t;
+  workload : Workload.t;
+  candidates : Candidate.set;
+  evaluator : Benefit.t;
+}
+
+let create_session catalog workload =
+  let candidates =
+    timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload)
+  in
+  let evaluator = timed "base cost evaluation" (fun () -> Benefit.create catalog workload) in
+  { catalog; workload; candidates; evaluator }
+
+let session_advise ?beta session ~budget algorithm =
+  let outcome = run_search ?beta session.evaluator session.candidates ~budget algorithm in
+  summarize session.evaluator algorithm outcome
+
+(* Estimated cost of an arbitrary workload under an arbitrary configuration
+   of index definitions (used for train/test experiments where the test
+   workload differs from the advisor's training workload). *)
+let estimated_workload_cost catalog (workload : Workload.t) defs =
+  Catalog.set_virtual_indexes catalog defs;
+  let total =
+    List.fold_left
+      (fun acc (item : Workload.item) ->
+        acc +. (item.freq *. Optimizer.statement_cost ~mode:Optimizer.Evaluate catalog item.statement))
+      0.0 workload
+  in
+  Catalog.clear_virtual_indexes catalog;
+  total
+
+let estimated_speedup catalog workload defs =
+  let base = estimated_workload_cost catalog workload [] in
+  let with_indexes = estimated_workload_cost catalog workload defs in
+  if with_indexes > 0.0 then base /. with_indexes else 1.0
+
+(* Actually materialize a configuration, run the workload, drop the indexes
+   again; returns total wall-clock seconds and simulated I/O. *)
+let execute_workload catalog (workload : Workload.t) defs =
+  Catalog.drop_all_indexes catalog;
+  List.iter (fun def -> ignore (Catalog.create_index catalog def)) defs;
+  let wall = ref 0.0 and cost = ref 0.0 and rows = ref 0 in
+  List.iter
+    (fun (item : Workload.item) ->
+      let r = Executor.run_statement catalog item.statement in
+      wall := !wall +. (item.freq *. r.Executor.wall_seconds);
+      cost := !cost +. (item.freq *. r.Executor.metrics.Executor.simulated_cost);
+      rows := !rows + r.Executor.rows)
+    workload;
+  Catalog.drop_all_indexes catalog;
+  (!wall, !cost, !rows)
+
+(* Actual speedup: measured ratio between the no-index run and the configured
+   run.  [`Wall] uses wall-clock CPU time; [`Cost] the deterministic simulated
+   cost of the work actually performed (pages touched, nodes navigated). *)
+let actual_speedup ?(metric = `Cost) catalog workload defs =
+  let wall0, cost0, _ = execute_workload catalog workload [] in
+  let wall1, cost1, _ = execute_workload catalog workload defs in
+  match metric with
+  | `Wall -> if wall1 > 0.0 then wall0 /. wall1 else 1.0
+  | `Cost -> if cost1 > 0.0 then cost0 /. cost1 else 1.0
+
+(* Review the catalog's REAL indexes against a workload: recommend dropping
+   any index that no plan uses, or whose maintenance charge under the
+   workload exceeds the cost increase its removal would cause. *)
+type drop_reason =
+  | Unused
+  | Maintenance_exceeds_benefit of { benefit : float; maintenance : float }
+
+let pp_drop_reason ppf = function
+  | Unused -> Fmt.string ppf "never used by any plan"
+  | Maintenance_exceeds_benefit { benefit; maintenance } ->
+      Fmt.pf ppf "maintenance %.0f exceeds benefit %.0f" maintenance benefit
+
+let drop_recommendations catalog (workload : Workload.t) =
+  let defs =
+    List.concat_map
+      (fun table ->
+        List.map Xia_index.Physical_index.def (Catalog.real_indexes catalog table))
+      (Catalog.table_names catalog)
+  in
+  let report = Report.evaluate_configuration catalog workload defs in
+  List.filter_map
+    (fun (d : Index_def.t) ->
+      if List.exists (Index_def.same d) report.Report.unused then Some (d, Unused)
+      else begin
+        (* Net effect of keeping just this index vs dropping it. *)
+        let without = List.filter (fun x -> not (Index_def.same x d)) defs in
+        let with_cost = estimated_workload_cost catalog workload defs in
+        let without_cost = estimated_workload_cost catalog workload without in
+        let benefit = without_cost -. with_cost in
+        let maintenance =
+          Report.(evaluate_configuration catalog workload [ d ]).Report.maintenance
+        in
+        if maintenance > benefit then
+          Some (d, Maintenance_exceeds_benefit { benefit; maintenance })
+        else None
+      end)
+    defs
+
+let pp_recommendation ppf r =
+  Fmt.pf ppf "%s: %d indexes (%d general, %d specific), size=%d, est speedup %.2fx@."
+    (algorithm_name r.algorithm)
+    (List.length r.outcome.Search.config)
+    r.general_count r.specific_count r.outcome.Search.size r.est_speedup;
+  List.iter
+    (fun (c : Candidate.t) ->
+      Fmt.pf ppf "  CREATE INDEX %a@." Index_def.pp c.Candidate.def)
+    r.outcome.Search.config

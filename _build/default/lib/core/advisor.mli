@@ -1,0 +1,87 @@
+(** The XML Index Advisor: enumerate → generalize → search → recommend. *)
+
+module Catalog = Xia_index.Catalog
+module Index_def = Xia_index.Index_def
+module Workload = Xia_workload.Workload
+
+type algorithm =
+  | Greedy
+  | Greedy_heuristics
+  | Top_down_lite
+  | Top_down_full
+  | Dynamic_programming
+  | All_index
+
+val algorithm_name : algorithm -> string
+
+(** The five search algorithms (excludes [All_index]). *)
+val all_algorithms : algorithm list
+
+type recommendation = {
+  algorithm : algorithm;
+  outcome : Search.outcome;
+  base_cost : float;
+  new_cost : float;
+  est_speedup : float;
+  general_count : int;
+  specific_count : int;
+}
+
+(** Recommended index definitions. *)
+val indexes : recommendation -> Index_def.t list
+
+(** One-shot recommendation for a workload under a disk budget (bytes). *)
+val advise :
+  ?beta:float ->
+  Catalog.t ->
+  Workload.t ->
+  budget:int ->
+  algorithm ->
+  recommendation
+
+(** A session reuses the candidate set and the benefit-evaluation cache
+    across several budgets and algorithms. *)
+type session = {
+  catalog : Catalog.t;
+  workload : Workload.t;
+  candidates : Candidate.set;
+  evaluator : Benefit.t;
+}
+
+val create_session : Catalog.t -> Workload.t -> session
+
+val session_advise :
+  ?beta:float -> session -> budget:int -> algorithm -> recommendation
+
+(** Estimated (optimizer) cost of a workload under a virtual configuration. *)
+val estimated_workload_cost :
+  Catalog.t -> Workload.t -> Index_def.t list -> float
+
+(** No-index cost divided by configured cost. *)
+val estimated_speedup : Catalog.t -> Workload.t -> Index_def.t list -> float
+
+(** Materialize the configuration, run the workload for real, drop the
+    indexes; returns (wall seconds, simulated execution cost, result rows). *)
+val execute_workload :
+  Catalog.t -> Workload.t -> Index_def.t list -> float * float * int
+
+(** Measured speedup of the configured run over the no-index run.  [`Cost]
+    (default) compares the deterministic simulated cost of the work actually
+    done; [`Wall] compares wall-clock CPU time. *)
+val actual_speedup :
+  ?metric:[ `Cost | `Wall ] -> Catalog.t -> Workload.t -> Index_def.t list -> float
+
+(** Why an existing index should be dropped. *)
+type drop_reason =
+  | Unused
+  | Maintenance_exceeds_benefit of { benefit : float; maintenance : float }
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+
+(** Review the catalog's materialized indexes against a workload and
+    recommend drops: indexes no plan uses, or whose maintenance charge
+    exceeds the benefit of keeping them. *)
+val drop_recommendations :
+  Catalog.t -> Workload.t -> (Index_def.t * drop_reason) list
+
+val pp_recommendation : Format.formatter -> recommendation -> unit

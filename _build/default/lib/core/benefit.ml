@@ -1,0 +1,230 @@
+(* Benefit evaluation (Sections III and VI-C).
+
+   Benefit(x1..xn; W) = Σ_{s∈W} freq_s · ((s_old − s_new) − Σ_i mc(x_i, s))
+
+   s_old / s_new come from the optimizer's Evaluate Indexes mode.  The
+   evaluation is made efficient exactly as in the paper:
+
+   - only statements in the union of the configuration's affected sets are
+     re-optimized (others cannot change cost);
+   - the configuration is partitioned into sub-configurations of indexes with
+     overlapping affected sets (indexes in different sub-configurations
+     cannot interact);
+   - evaluated sub-configurations are cached.
+
+   Note: the paper prints the maintenance term outside the frequency product;
+   we scale mc by the statement frequency, which is the only reading under
+   which repeating an update statement matters. *)
+
+module Catalog = Xia_index.Catalog
+module Maintenance = Xia_index.Maintenance
+module Optimizer = Xia_optimizer.Optimizer
+module Plan = Xia_optimizer.Plan
+module Workload = Xia_workload.Workload
+module Ast = Xia_query.Ast
+module Int_set = Candidate.Int_set
+
+type t = {
+  catalog : Catalog.t;
+  items : Workload.item array;
+  base_costs : float array;       (* per statement, no indexes *)
+  base_affected : float array;    (* per statement, estimated documents modified *)
+  cache : (string, float) Hashtbl.t;  (* sub-configuration -> cost delta term *)
+  mutable evaluations : int;      (* optimizer calls made through this evaluator *)
+  mutable cache_hits : int;
+  mutable useful_memo : (int, unit) Hashtbl.t option;
+      (* memoized [useful_ids] result; valid because an evaluator is always
+         paired with one candidate set *)
+}
+
+let dml_kind = function
+  | Ast.Insert _ -> Some Maintenance.Dml_insert
+  | Ast.Delete _ -> Some Maintenance.Dml_delete
+  | Ast.Update _ -> Some Maintenance.Dml_update
+  | Ast.Select _ -> None
+
+let create catalog (workload : Workload.t) =
+  let items = Array.of_list workload in
+  Catalog.clear_virtual_indexes catalog;
+  let base =
+    Array.map
+      (fun (item : Workload.item) ->
+        Optimizer.optimize ~mode:Optimizer.Evaluate catalog item.statement)
+      items
+  in
+  {
+    catalog;
+    items;
+    base_costs = Array.map (fun p -> p.Plan.total_cost) base;
+    base_affected = Array.map (fun p -> p.Plan.affected_docs) base;
+    cache = Hashtbl.create 256;
+    evaluations = Array.length items;
+    cache_hits = 0;
+    useful_memo = None;
+  }
+
+let base_workload_cost t =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i (item : Workload.item) -> total := !total +. (item.freq *. t.base_costs.(i)))
+    t.items;
+  !total
+
+(* Cost of the whole workload under a configuration (one Evaluate pass per
+   statement; captures all interactions).  Used for final reporting. *)
+let workload_cost t (config : Candidate.t list) =
+  Catalog.set_virtual_indexes t.catalog (List.map (fun c -> c.Candidate.def) config);
+  let total = ref 0.0 in
+  Array.iter
+    (fun (item : Workload.item) ->
+      t.evaluations <- t.evaluations + 1;
+      total :=
+        !total
+        +. (item.freq *. Optimizer.statement_cost ~mode:Optimizer.Evaluate t.catalog item.statement))
+    t.items;
+  Catalog.clear_virtual_indexes t.catalog;
+  !total
+
+(* Maintenance charge of a configuration: for every DML statement, every
+   index of the configuration on the statement's table pays mc. *)
+let maintenance_charge t (config : Candidate.t list) =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i (item : Workload.item) ->
+      match dml_kind item.statement with
+      | None -> ()
+      | Some kind ->
+          let tables = Ast.tables item.statement in
+          List.iter
+            (fun (c : Candidate.t) ->
+              if List.mem c.def.Xia_index.Index_def.table tables then begin
+                let stats = Candidate.stats t.catalog c in
+                total :=
+                  !total
+                  +. item.freq
+                     *. Maintenance.cost stats kind ~docs_affected:t.base_affected.(i)
+              end)
+            config)
+    t.items;
+  !total
+
+(* Partition a configuration into sub-configurations with overlapping
+   affected sets (union-find over candidates). *)
+let sub_configurations (config : Candidate.t list) =
+  let arr = Array.of_list config in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Int_set.disjoint arr.(i).Candidate.affected arr.(j).Candidate.affected) then
+        union i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i c ->
+      let r = find i in
+      Hashtbl.replace groups r (c :: (Option.value ~default:[] (Hashtbl.find_opt groups r))))
+    arr;
+  Hashtbl.fold (fun _ g acc -> g :: acc) groups []
+
+let sub_config_key (sub : Candidate.t list) =
+  String.concat ";"
+    (List.sort String.compare
+       (List.map (fun c -> Xia_index.Index_def.logical_key c.Candidate.def) sub))
+
+(* Cost-delta term of one sub-configuration: Σ freq·(s_old − s_new) over its
+   affected statements. *)
+let sub_config_delta t (sub : Candidate.t list) =
+  let key = sub_config_key sub in
+  match Hashtbl.find_opt t.cache key with
+  | Some d ->
+      t.cache_hits <- t.cache_hits + 1;
+      d
+  | None ->
+      let affected =
+        List.fold_left
+          (fun acc c -> Int_set.union acc c.Candidate.affected)
+          Int_set.empty sub
+      in
+      Catalog.set_virtual_indexes t.catalog (List.map (fun c -> c.Candidate.def) sub);
+      let delta =
+        Int_set.fold
+          (fun stmt_index acc ->
+            if stmt_index < 0 || stmt_index >= Array.length t.items then acc
+            else begin
+              let item = t.items.(stmt_index) in
+              t.evaluations <- t.evaluations + 1;
+              let cost_new =
+                Optimizer.statement_cost ~mode:Optimizer.Evaluate t.catalog item.statement
+              in
+              acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new))
+            end)
+          affected 0.0
+      in
+      Catalog.clear_virtual_indexes t.catalog;
+      Hashtbl.add t.cache key delta;
+      delta
+
+(* The paper's Benefit(x1..xn; W). *)
+let benefit t (config : Candidate.t list) =
+  match config with
+  | [] -> 0.0
+  | _ ->
+      let subs = sub_configurations config in
+      let delta = List.fold_left (fun acc sub -> acc +. sub_config_delta t sub) 0.0 subs in
+      delta -. maintenance_charge t config
+
+(* Individual benefit of a single candidate, memoized through the
+   sub-configuration cache (a singleton is its own sub-configuration). *)
+let individual_benefit t c = benefit t [ c ]
+
+(* Candidates used by at least one optimizer plan when every basic candidate
+   of a statement is installed together.  This captures indexes whose value
+   only shows in combination (index ANDing): their individual benefit can be
+   zero, yet the optimizer picks them alongside a partner.  The paper's
+   preprocessing criterion — drop indexes "not being used in optimizer
+   plans" — is exactly this check. *)
+let used_in_plans t (set : Candidate.set) =
+  let used = Hashtbl.create 32 in
+  let basics = Candidate.basics set in
+  Array.iteri
+    (fun stmt_index (item : Workload.item) ->
+      let config =
+        List.filter (fun (c : Candidate.t) -> Int_set.mem stmt_index c.affected) basics
+      in
+      if config <> [] then begin
+        Catalog.set_virtual_indexes t.catalog
+          (List.map (fun (c : Candidate.t) -> c.Candidate.def) config);
+        t.evaluations <- t.evaluations + 1;
+        let plan = Optimizer.optimize ~mode:Optimizer.Evaluate t.catalog item.statement in
+        List.iter
+          (fun d -> Hashtbl.replace used (Xia_index.Index_def.logical_key d) ())
+          (Plan.indexes_used plan)
+      end)
+    t.items;
+  Catalog.clear_virtual_indexes t.catalog;
+  used
+
+(* Is this candidate worth keeping in a search space?  Positive individual
+   benefit, or used by some plan in combination. *)
+let useful_ids t set =
+  match t.useful_memo with
+  | Some ids -> ids
+  | None ->
+      let used = used_in_plans t set in
+      let ids = Hashtbl.create 64 in
+      List.iter
+        (fun (c : Candidate.t) ->
+          if
+            individual_benefit t c > 0.0
+            || Hashtbl.mem used (Xia_index.Index_def.logical_key c.def)
+          then Hashtbl.replace ids c.id ())
+        (Candidate.to_list set);
+      t.useful_memo <- Some ids;
+      ids

@@ -1,0 +1,47 @@
+(** Benefit evaluation with the paper's optimizer-call-minimizing machinery:
+    affected sets, sub-configurations and a sub-configuration cache
+    (Sections III and VI-C). *)
+
+module Catalog = Xia_index.Catalog
+module Workload = Xia_workload.Workload
+
+type t = {
+  catalog : Catalog.t;
+  items : Workload.item array;
+  base_costs : float array;
+  base_affected : float array;
+  cache : (string, float) Hashtbl.t;
+  mutable evaluations : int;  (** optimizer calls made through this evaluator *)
+  mutable cache_hits : int;
+  mutable useful_memo : (int, unit) Hashtbl.t option;
+}
+
+(** Build an evaluator: costs every statement once with no indexes. *)
+val create : Catalog.t -> Workload.t -> t
+
+(** Frequency-weighted workload cost with no indexes. *)
+val base_workload_cost : t -> float
+
+(** Frequency-weighted workload cost under a configuration (full pass, used
+    for final reporting). *)
+val workload_cost : t -> Candidate.t list -> float
+
+(** Total maintenance charge [Σ freq·mc(x, s)] of a configuration. *)
+val maintenance_charge : t -> Candidate.t list -> float
+
+(** Partition into sub-configurations with overlapping affected sets. *)
+val sub_configurations : Candidate.t list -> Candidate.t list list
+
+(** The paper's [Benefit(x1..xn; W)]. *)
+val benefit : t -> Candidate.t list -> float
+
+val individual_benefit : t -> Candidate.t -> float
+
+(* Logical keys of candidates used by some plan when each statement's basic
+   candidates are installed together (captures combination-only value). *)
+val used_in_plans : t -> Candidate.set -> (string, unit) Hashtbl.t
+
+(** Ids of candidates worth searching over: positive individual benefit or
+    used by some plan in combination (the paper's "not used in optimizer
+    plans" pruning criterion, inverted). *)
+val useful_ids : t -> Candidate.set -> (int, unit) Hashtbl.t

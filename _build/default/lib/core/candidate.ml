@@ -1,0 +1,132 @@
+(* Candidate indexes and the candidate DAG.
+
+   A candidate is a potential index (definition + provenance).  Basic
+   candidates come out of the optimizer's Enumerate Indexes mode; general
+   candidates are produced by the generalization algorithm, which also wires
+   the DAG: a general candidate is the parent of every candidate it was
+   generalized from.  Each candidate carries its *affected set* — the
+   workload statements whose basic patterns it covers — which drives the
+   efficient benefit evaluation of Section VI-C. *)
+
+module Index_def = Xia_index.Index_def
+module Index_stats = Xia_index.Index_stats
+module Pattern = Xia_xpath.Pattern
+module Int_set = Set.Make (Int)
+
+type origin =
+  | Basic
+  | General
+
+type t = {
+  id : int;
+  def : Index_def.t;
+  origin : origin;
+  mutable parents : Int_set.t;   (* candidates generalizing this one *)
+  mutable children : Int_set.t;  (* candidates this one was generalized from *)
+  mutable affected : Int_set.t;  (* workload statement indices *)
+}
+
+type set = {
+  by_id : (int, t) Hashtbl.t;
+  by_key : (string, int) Hashtbl.t;  (* logical key -> id *)
+  mutable next_id : int;
+}
+
+let create_set () = { by_id = Hashtbl.create 64; by_key = Hashtbl.create 64; next_id = 0 }
+
+let find_by_key set key =
+  match Hashtbl.find_opt set.by_key key with
+  | None -> None
+  | Some id -> Hashtbl.find_opt set.by_id id
+
+let find set id = Hashtbl.find_opt set.by_id id
+
+let get set id =
+  match find set id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Candidate.get: unknown id %d" id)
+
+(* Add a candidate (or return the existing one with the same logical
+   identity).  An existing basic candidate is never downgraded: re-adding it
+   as general keeps its Basic origin. *)
+let add set ~origin (def : Index_def.t) =
+  let key = Index_def.logical_key def in
+  match find_by_key set key with
+  | Some c -> c
+  | None ->
+      let id = set.next_id in
+      set.next_id <- id + 1;
+      let c =
+        {
+          id;
+          def;
+          origin;
+          parents = Int_set.empty;
+          children = Int_set.empty;
+          affected = Int_set.empty;
+        }
+      in
+      Hashtbl.add set.by_id id c;
+      Hashtbl.add set.by_key key id;
+      c
+
+let add_edge ~parent ~child =
+  if parent.id <> child.id then begin
+    parent.children <- Int_set.add child.id parent.children;
+    child.parents <- Int_set.add parent.id child.parents
+  end
+
+let mark_affected c stmt_index = c.affected <- Int_set.add stmt_index c.affected
+
+let to_list set =
+  List.sort
+    (fun a b -> compare a.id b.id)
+    (Hashtbl.fold (fun _ c acc -> c :: acc) set.by_id [])
+
+let basics set = List.filter (fun c -> c.origin = Basic) (to_list set)
+let generals set = List.filter (fun c -> c.origin = General) (to_list set)
+
+let cardinality set = Hashtbl.length set.by_id
+
+(* Roots of the DAG: candidates nobody generalizes further. *)
+let roots set = List.filter (fun c -> Int_set.is_empty c.parents) (to_list set)
+
+let children_of set c = List.filter_map (find set) (Int_set.elements c.children)
+let parents_of set c = List.filter_map (find set) (Int_set.elements c.parents)
+
+let is_general c = c.origin = General
+
+(* Derived statistics and size: virtual-index statistics from the data
+   statistics of the candidate's table. *)
+let stats catalog (c : t) =
+  Index_stats.derive_cached (Xia_index.Catalog.stats catalog c.def.Index_def.table) c.def
+
+let size catalog c = (stats catalog c).Index_stats.size_bytes
+
+let config_size catalog config =
+  List.fold_left (fun acc c -> acc + size catalog c) 0 config
+
+(* Recompute affected sets from basic candidates: a candidate affects every
+   statement one of whose basic patterns it covers. *)
+let compute_affected set =
+  let basic = basics set in
+  List.iter
+    (fun c ->
+      if is_general c then begin
+        let affected =
+          List.fold_left
+            (fun acc (b : t) ->
+              if Index_def.covers ~general:c.def ~specific:b.def then
+                Int_set.union acc b.affected
+              else acc)
+            c.affected basic
+        in
+        c.affected <- affected
+      end)
+    (to_list set)
+
+let pp ppf c =
+  Fmt.pf ppf "#%d %s %a AS %a [%s]%s" c.id c.def.Index_def.table Pattern.pp
+    c.def.Index_def.pattern Index_def.pp_data_type c.def.Index_def.dtype
+    (String.concat "," (List.map string_of_int (Int_set.elements c.affected)))
+    (match c.origin with Basic -> "" | General -> " (general)")

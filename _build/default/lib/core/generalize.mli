@@ -1,0 +1,26 @@
+(** Candidate generalization: generalizeStep (Algorithm 1) + advanceStep
+    (Table II) + rewrite rule 0, iterated over all compatible candidate pairs
+    to a fixpoint, wiring the candidate DAG along the way. *)
+
+module Pattern = Xia_xpath.Pattern
+
+(** [gen_axis a b] is descendant if either axis is descendant. *)
+val gen_axis : Xia_xpath.Ast.axis -> Xia_xpath.Ast.axis -> Xia_xpath.Ast.axis
+
+(** Generalize two name tests; [None] on element/attribute kind mismatch. *)
+val gen_test :
+  Xia_xpath.Ast.node_test -> Xia_xpath.Ast.node_test -> Xia_xpath.Ast.node_test option
+
+(** All generalizations of one pattern pair, normalized (rule 0) and
+    deduplicated.  [pair /Security/Symbol /Security/SecInfo/*/Sector]
+    is [\[/Security//*\]]. *)
+val pair : Pattern.t -> Pattern.t -> Pattern.t list
+
+(** Same table, same data type. *)
+val compatible : Candidate.t -> Candidate.t -> bool
+
+(** Safety cap on the candidate-set size. *)
+val max_candidates : int
+
+(** Expand the set to a fixpoint and recompute affected sets. *)
+val close : Candidate.set -> unit

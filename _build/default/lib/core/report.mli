@@ -1,0 +1,33 @@
+(** What-if analysis: evaluate an arbitrary index configuration over a
+    workload (DB2's EVALUATE INDEXES as a service), with per-statement
+    costs, plans, and unused-index warnings. *)
+
+module Catalog = Xia_index.Catalog
+module Index_def = Xia_index.Index_def
+module Workload = Xia_workload.Workload
+
+type statement_report = {
+  label : string;
+  statement_text : string;
+  freq : float;
+  base_cost : float;
+  new_cost : float;
+  speedup : float;
+  plan : string;
+  indexes_used : Index_def.t list;
+}
+
+type t = {
+  defs : Index_def.t list;
+  total_size : int;
+  statements : statement_report list;
+  base_total : float;
+  new_total : float;
+  est_speedup : float;
+  maintenance : float;
+  unused : Index_def.t list;
+}
+
+val evaluate_configuration : Catalog.t -> Workload.t -> Index_def.t list -> t
+
+val pp : Format.formatter -> t -> unit

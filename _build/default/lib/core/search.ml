@@ -1,0 +1,353 @@
+(* Configuration search (Section VI).
+
+   Five algorithms over the candidate set, all knapsack-style under a disk
+   budget:
+
+   - greedy: density-ordered greedy on individual benefits, ignoring index
+     interaction (the paper's strawman);
+   - greedy with heuristics: additionally tracks which workload patterns are
+     already covered (skipping redundant indexes) and admits a general index
+     only if it is at least as beneficial as the candidates it generalizes
+     and at most (1+β) their total size;
+   - top-down lite / full: start from the DAG roots (most general candidates)
+     and repeatedly replace the general index with the smallest ΔB/ΔC by its
+     children until the configuration fits; lite sums individual benefits,
+     full re-evaluates configurations;
+   - dynamic programming: exact 0/1 knapsack on individual benefits (optimal
+     modulo index interaction). *)
+
+module Int_set = Candidate.Int_set
+module Index_def = Xia_index.Index_def
+
+type outcome = {
+  algorithm : string;
+  config : Candidate.t list;
+  size : int;
+  benefit : float;          (* full-evaluation benefit of the final config *)
+  optimizer_calls : int;    (* evaluator calls consumed by this search *)
+  elapsed : float;
+}
+
+let beta_default = 0.10
+
+let candidate_size ev c = Candidate.size ev.Benefit.catalog c
+
+let config_size ev config = Candidate.config_size ev.Benefit.catalog config
+
+let density ev benefit_of c =
+  let s = float_of_int (max 1 (candidate_size ev c)) in
+  benefit_of c /. s
+
+(* Candidates ordered by decreasing benefit density (deterministic
+   tie-breaking on specificity then key). *)
+let by_density ev benefit_of cands =
+  List.sort
+    (fun a b ->
+      match compare (density ev benefit_of b) (density ev benefit_of a) with
+      | 0 -> (
+          match
+            compare
+              (Xia_xpath.Pattern.specificity b.Candidate.def.Index_def.pattern)
+              (Xia_xpath.Pattern.specificity a.Candidate.def.Index_def.pattern)
+          with
+          | 0 ->
+              String.compare
+                (Index_def.logical_key a.Candidate.def)
+                (Index_def.logical_key b.Candidate.def)
+          | c -> c)
+      | c -> c)
+    cands
+
+let finalize ~algorithm ev ~calls_before ~t0 config =
+  {
+    algorithm;
+    config;
+    size = config_size ev config;
+    benefit = Benefit.benefit ev config;
+    optimizer_calls = ev.Benefit.evaluations - calls_before;
+    elapsed = Sys.time () -. t0;
+  }
+
+(* -------- Plain greedy -------- *)
+
+(* Search pool: candidates with positive individual benefit or used by some
+   plan in combination. *)
+let pool ev set =
+  let useful = Benefit.useful_ids ev set in
+  List.filter (fun (c : Candidate.t) -> Hashtbl.mem useful c.id) (Candidate.to_list set)
+
+let greedy ev set ~budget =
+  let t0 = Sys.time () in
+  let calls_before = ev.Benefit.evaluations in
+  let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
+  let config, _ =
+    List.fold_left
+      (fun (config, used) c ->
+        let s = candidate_size ev c in
+        if used + s <= budget then (c :: config, used + s) else (config, used))
+      ([], 0) cands
+  in
+  finalize ~algorithm:"greedy" ev ~calls_before ~t0 (List.rev config)
+
+(* -------- Greedy with heuristics -------- *)
+
+(* Basic candidates covered by a candidate (for the covered-pattern bitmap). *)
+let covered_basics set (c : Candidate.t) =
+  List.filter
+    (fun (b : Candidate.t) -> Index_def.covers ~general:c.def ~specific:b.def)
+    (Candidate.basics set)
+
+let greedy_heuristics ?(beta = beta_default) ev set ~budget =
+  let t0 = Sys.time () in
+  let calls_before = ev.Benefit.evaluations in
+  let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
+  let covered = ref Int_set.empty in
+  let config = ref [] in
+  let used = ref 0 in
+  let cur_benefit = ref 0.0 in
+  let in_config (c : Candidate.t) =
+    List.exists (fun (x : Candidate.t) -> x.id = c.id) !config
+  in
+  let admit c s basic_ids =
+    config := c :: !config;
+    used := !used + s;
+    cur_benefit := Benefit.benefit ev !config;
+    covered := Int_set.union !covered basic_ids
+  in
+  (* Candidates whose value only shows in combination (e.g. the two sides of
+     an OR filter, or index-ANDing partners): try the whole interaction group
+     at once. *)
+  let try_partner_group (c : Candidate.t) =
+    let partners =
+      List.filter
+        (fun (x : Candidate.t) ->
+          (not (in_config x))
+          && x.id <> c.id
+          && not (Int_set.disjoint x.affected c.affected))
+        cands
+    in
+    let group = c :: partners in
+    if List.length group >= 2 && List.length group <= 6 then begin
+      let group_size =
+        List.fold_left (fun acc x -> acc + candidate_size ev x) 0 group
+      in
+      if !used + group_size <= budget then begin
+        let ib = Benefit.benefit ev (group @ !config) in
+        if ib > !cur_benefit then
+          List.iter
+            (fun (x : Candidate.t) ->
+              let ids =
+                Int_set.of_list
+                  (List.map (fun b -> b.Candidate.id) (covered_basics set x))
+              in
+              admit x (candidate_size ev x) ids)
+            group
+      end
+    end
+  in
+  List.iter
+    (fun (c : Candidate.t) ->
+      let s = candidate_size ev c in
+      if (not (in_config c)) && !used + s <= budget then begin
+        let basics = covered_basics set c in
+        let basic_ids = Int_set.of_list (List.map (fun b -> b.Candidate.id) basics) in
+        let adds_coverage = not (Int_set.subset basic_ids !covered) in
+        if adds_coverage then begin
+          if Candidate.is_general c then begin
+            (* The general index must beat the indexes it generalizes and
+               not blow up the size budget share. *)
+            let children = Candidate.children_of set c in
+            let children_size =
+              List.fold_left (fun acc x -> acc + candidate_size ev x) 0 children
+            in
+            let ib_general = Benefit.benefit ev (c :: !config) in
+            let ib_children = Benefit.benefit ev (children @ !config) in
+            if
+              ib_general >= ib_children
+              && float_of_int s <= (1.0 +. beta) *. float_of_int children_size
+              && ib_general > !cur_benefit
+            then admit c s basic_ids
+          end
+          else begin
+            let ib = Benefit.benefit ev (c :: !config) in
+            if ib > !cur_benefit then admit c s basic_ids
+            else if not (Candidate.is_general c) then try_partner_group c
+          end
+        end
+      end)
+    cands;
+  finalize ~algorithm:"greedy+heuristics" ev ~calls_before ~t0 (List.rev !config)
+
+(* -------- Top-down -------- *)
+
+type td_variant = Lite | Full
+
+let dedup_by_id config =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (c : Candidate.t) ->
+      if Hashtbl.mem seen c.id then false
+      else begin
+        Hashtbl.add seen c.id ();
+        true
+      end)
+    config
+
+(* Greedy fallback once no general candidate can be replaced: keep the best
+   subset of the (now specific) configuration that fits. *)
+let greedy_fallback ev ~budget config =
+  let ordered = by_density ev (Benefit.individual_benefit ev) config in
+  let kept, _ =
+    List.fold_left
+      (fun (kept, used) c ->
+        let s = candidate_size ev c in
+        if used + s <= budget && Benefit.individual_benefit ev c > 0.0 then
+          (c :: kept, used + s)
+        else (kept, used))
+      ([], 0) ordered
+  in
+  List.rev kept
+
+let top_down ?(variant = Full) ev set ~budget =
+  let t0 = Sys.time () in
+  let calls_before = ev.Benefit.evaluations in
+  let algorithm =
+    match variant with Lite -> "top-down lite" | Full -> "top-down full"
+  in
+  (* Preprocessing: drop candidates with zero or negative benefit that no
+     optimizer plan uses (the paper's two removal reasons). *)
+  let in_space = Benefit.useful_ids ev set in
+  let space_mem (c : Candidate.t) = Hashtbl.mem in_space c.id in
+  let space = List.filter space_mem (Candidate.to_list set) in
+  let roots =
+    List.filter
+      (fun c -> not (List.exists space_mem (Candidate.parents_of set c)))
+      space
+  in
+  let children_in_space c =
+    List.filter space_mem (Candidate.children_of set c)
+  in
+  let config = ref (dedup_by_id roots) in
+  let guard = ref (4 * max 1 (Candidate.cardinality set)) in
+  let continue_ = ref true in
+  while !continue_ && config_size ev !config > budget && !guard > 0 do
+    decr guard;
+    let replaceable =
+      List.filter (fun c -> children_in_space c <> []) !config
+    in
+    (* Score each replaceable general index by ΔB/ΔC. *)
+    let scored =
+      List.filter_map
+        (fun (g : Candidate.t) ->
+          let children =
+            List.filter
+              (fun (ch : Candidate.t) ->
+                not (List.exists (fun (x : Candidate.t) -> x.id = ch.id) !config))
+              (children_in_space g)
+          in
+          let delta_c =
+            candidate_size ev g
+            - List.fold_left (fun acc c -> acc + candidate_size ev c) 0 children
+          in
+          if delta_c <= 0 then None
+          else
+            let delta_b =
+              match variant with
+              | Lite ->
+                  Benefit.individual_benefit ev g
+                  -. List.fold_left
+                       (fun acc c -> acc +. Benefit.individual_benefit ev c)
+                       0.0 children
+              | Full ->
+                  let rest =
+                    List.filter (fun (x : Candidate.t) -> x.id <> g.id) !config
+                  in
+                  Benefit.benefit ev (g :: rest) -. Benefit.benefit ev (children @ rest)
+            in
+            Some (g, children, delta_b, delta_c))
+        replaceable
+    in
+    match scored with
+    | [] -> continue_ := false
+    | _ ->
+        let ratio (_, _, db, dc) = db /. float_of_int dc in
+        let best =
+          List.fold_left
+            (fun best x ->
+              let r = ratio x and rb = ratio best in
+              if r < rb then x
+              else if Float.equal r rb then
+                (* ties: largest ΔC *)
+                let (_, _, _, dc) = x and (_, _, _, dcb) = best in
+                if dc > dcb then x else best
+              else best)
+            (List.hd scored) (List.tl scored)
+        in
+        let g, children, _, _ = best in
+        config :=
+          dedup_by_id
+            (children @ List.filter (fun (x : Candidate.t) -> x.id <> g.id) !config)
+  done;
+  let config =
+    if config_size ev !config > budget then greedy_fallback ev ~budget !config
+    else !config
+  in
+  finalize ~algorithm ev ~calls_before ~t0 config
+
+let top_down_lite ev set ~budget = top_down ~variant:Lite ev set ~budget
+let top_down_full ev set ~budget = top_down ~variant:Full ev set ~budget
+
+(* -------- Dynamic programming (exact knapsack, no interaction) -------- *)
+
+let dynamic_programming ev set ~budget =
+  let t0 = Sys.time () in
+  let calls_before = ev.Benefit.evaluations in
+  let items =
+    List.filter (fun c -> candidate_size ev c <= budget) (pool ev set)
+  in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 []
+  else begin
+    (* Size granularity keeps the table small; round item sizes UP so the
+       budget is never exceeded. *)
+    let unit = max Xia_storage.Cost_params.page_size (budget / 2048) in
+    let units = budget / unit in
+    let w_of i = (candidate_size ev items.(i) + unit - 1) / unit in
+    let v_of i = Benefit.individual_benefit ev items.(i) in
+    let value = Array.make (units + 1) 0.0 in
+    let take = Array.make_matrix n (units + 1) false in
+    for i = 0 to n - 1 do
+      let w = w_of i and v = v_of i in
+      for cap = units downto w do
+        let with_item = value.(cap - w) +. v in
+        if with_item > value.(cap) then begin
+          value.(cap) <- with_item;
+          take.(i).(cap) <- true
+        end
+      done
+    done;
+    (* Reconstruct: walk items backwards. *)
+    let config = ref [] in
+    let cap = ref units in
+    for i = n - 1 downto 0 do
+      if take.(i).(!cap) then begin
+        config := items.(i) :: !config;
+        cap := !cap - w_of i
+      end
+    done;
+    finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 !config
+  end
+
+(* -------- All-Index configuration -------- *)
+
+(* Indexes for every indexable XPath expression in the workload: all basic
+   candidates.  The best possible configuration for a query-only workload. *)
+let all_index ev set =
+  let t0 = Sys.time () in
+  let calls_before = ev.Benefit.evaluations in
+  finalize ~algorithm:"all index" ev ~calls_before ~t0 (Candidate.basics set)
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "%-18s size=%8d benefit=%12.1f calls=%5d time=%.3fs indexes=%d" o.algorithm
+    o.size o.benefit o.optimizer_calls o.elapsed (List.length o.config)

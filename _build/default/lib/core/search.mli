@@ -1,0 +1,39 @@
+(** Configuration search: the paper's five algorithms plus the All-Index
+    reference configuration. *)
+
+type outcome = {
+  algorithm : string;
+  config : Candidate.t list;
+  size : int;               (** estimated total size in bytes *)
+  benefit : float;          (** full-evaluation benefit of the final config *)
+  optimizer_calls : int;    (** evaluator calls consumed by the search *)
+  elapsed : float;          (** seconds *)
+}
+
+(** β = 0.10, the size-expansion threshold of the heuristic search. *)
+val beta_default : float
+
+(** Basic candidates covered by a candidate. *)
+val covered_basics : Candidate.set -> Candidate.t -> Candidate.t list
+
+(** Plain greedy on individual benefit density; ignores interaction. *)
+val greedy : Benefit.t -> Candidate.set -> budget:int -> outcome
+
+(** Greedy with the covered-pattern bitmap and the two general-index
+    admission conditions (IB and (1+β) size). *)
+val greedy_heuristics :
+  ?beta:float -> Benefit.t -> Candidate.set -> budget:int -> outcome
+
+type td_variant = Lite | Full
+
+val top_down : ?variant:td_variant -> Benefit.t -> Candidate.set -> budget:int -> outcome
+val top_down_lite : Benefit.t -> Candidate.set -> budget:int -> outcome
+val top_down_full : Benefit.t -> Candidate.set -> budget:int -> outcome
+
+(** Exact 0/1 knapsack on individual benefits (optimal modulo interaction). *)
+val dynamic_programming : Benefit.t -> Candidate.set -> budget:int -> outcome
+
+(** All basic candidates: an index for every indexable workload pattern. *)
+val all_index : Benefit.t -> Candidate.set -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/index/catalog.ml: Hashtbl Index_def List Physical_index Printf String Xia_storage

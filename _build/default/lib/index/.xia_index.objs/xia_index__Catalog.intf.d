@@ -1,0 +1,1 @@
+lib/index/catalog.mli: Index_def Physical_index Xia_storage

@@ -1,0 +1,1 @@
+lib/index/index_def.ml: Fmt Printf String Xia_xpath

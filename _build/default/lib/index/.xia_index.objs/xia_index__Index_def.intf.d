@@ -1,0 +1,1 @@
+lib/index/index_def.mli: Format Xia_xpath

@@ -1,0 +1,1 @@
+lib/index/index_stats.ml: Float Fmt Hashtbl Index_def List Xia_storage

@@ -1,0 +1,1 @@
+lib/index/index_stats.mli: Format Index_def Xia_storage

@@ -1,0 +1,1 @@
+lib/index/maintenance.ml: Index_stats Xia_storage

@@ -1,0 +1,1 @@
+lib/index/maintenance.mli: Index_stats

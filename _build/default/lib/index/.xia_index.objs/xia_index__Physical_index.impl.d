@@ -1,0 +1,1 @@
+lib/index/physical_index.ml: Array Float Fmt Hashtbl Index_def Index_stats List String Xia_storage Xia_xml Xia_xpath

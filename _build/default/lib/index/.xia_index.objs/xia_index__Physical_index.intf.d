@@ -1,0 +1,1 @@
+lib/index/physical_index.mli: Format Index_def Xia_storage Xia_xml

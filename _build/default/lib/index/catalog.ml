@@ -1,0 +1,129 @@
+(* Database catalog: tables with their statistics and their real and virtual
+   indexes.
+
+   Virtual indexes exist only here — they have definitions and derived
+   statistics but no physical entries, and are visible to the optimizer in
+   its special advisor modes only.  This mirrors the paper's server-side
+   extension: "virtual indexes are added to the database catalog and to all
+   the internal data structures of the optimizer, but they are not physically
+   created". *)
+
+module Doc_store = Xia_storage.Doc_store
+module Path_stats = Xia_storage.Path_stats
+
+type table = {
+  store : Doc_store.t;
+  mutable stats : Path_stats.t option;
+  mutable real_indexes : Physical_index.t list;
+  mutable virtual_indexes : Index_def.t list;
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+}
+
+let create () = { tables = Hashtbl.create 8 }
+
+let add_table t store =
+  let name = Doc_store.name store in
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add_table: table %s already exists" name);
+  let table = { store; stats = None; real_indexes = []; virtual_indexes = [] } in
+  Hashtbl.add t.tables name table;
+  table
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %s" name)
+
+let table_names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
+
+let store t name = (table_exn t name).store
+
+(* RUNSTATS: (re)collect statistics for one table. *)
+let runstats t name =
+  let tbl = table_exn t name in
+  let stats = Path_stats.collect tbl.store in
+  tbl.stats <- Some stats;
+  stats
+
+let runstats_all t = List.iter (fun name -> ignore (runstats t name)) (table_names t)
+
+(* Statistics, collected on first use and refreshed when stale. *)
+let stats t name =
+  let tbl = table_exn t name in
+  match tbl.stats with
+  | Some s when s.Path_stats.generation = Doc_store.generation tbl.store -> s
+  | Some _ | None -> runstats t name
+
+let create_index t (def : Index_def.t) =
+  let tbl = table_exn t def.table in
+  if
+    List.exists (fun pi -> Index_def.same (Physical_index.def pi) def) tbl.real_indexes
+  then invalid_arg (Printf.sprintf "Catalog.create_index: duplicate of %s" def.name);
+  let pi = Physical_index.build tbl.store def in
+  tbl.real_indexes <- pi :: tbl.real_indexes;
+  pi
+
+let drop_index t name =
+  let dropped = ref false in
+  Hashtbl.iter
+    (fun _ tbl ->
+      let keep, gone =
+        List.partition
+          (fun pi -> not (String.equal (Physical_index.def pi).Index_def.name name))
+          tbl.real_indexes
+      in
+      if gone <> [] then begin
+        tbl.real_indexes <- keep;
+        dropped := true
+      end)
+    t.tables;
+  !dropped
+
+let drop_all_indexes t =
+  Hashtbl.iter (fun _ tbl -> tbl.real_indexes <- []) t.tables
+
+(* Bring stale real indexes up to date: incrementally from the table's
+   change log when it reaches back far enough and the delta is small,
+   otherwise by a full rebuild. *)
+let refresh_indexes t =
+  Hashtbl.iter
+    (fun _ tbl ->
+      let gen = Doc_store.generation tbl.store in
+      tbl.real_indexes <-
+        List.map
+          (fun pi ->
+            if Physical_index.built_generation pi = gen then pi
+            else
+              match Doc_store.changes_since tbl.store (Physical_index.built_generation pi) with
+              | Some changes
+                when List.length changes <= max 64 (Doc_store.doc_count tbl.store / 2) ->
+                  Physical_index.apply_changes pi ~generation:gen changes
+              | Some _ | None -> Physical_index.build tbl.store (Physical_index.def pi))
+          tbl.real_indexes)
+    t.tables
+
+let real_indexes t name = (table_exn t name).real_indexes
+
+(* Virtual index management: the advisor installs a configuration, runs the
+   optimizer in an advisor mode, then clears it. *)
+let set_virtual_indexes t defs =
+  Hashtbl.iter (fun _ tbl -> tbl.virtual_indexes <- []) t.tables;
+  List.iter
+    (fun (def : Index_def.t) ->
+      let tbl = table_exn t def.table in
+      tbl.virtual_indexes <- def :: tbl.virtual_indexes)
+    defs
+
+let clear_virtual_indexes t =
+  Hashtbl.iter (fun _ tbl -> tbl.virtual_indexes <- []) t.tables
+
+let virtual_indexes t name = (table_exn t name).virtual_indexes
+
+let total_data_bytes t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Doc_store.total_bytes tbl.store) t.tables 0

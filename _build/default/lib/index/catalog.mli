@@ -1,0 +1,58 @@
+(** Database catalog: tables, statistics, real indexes and virtual indexes.
+
+    Virtual indexes have definitions and derived statistics but no entries;
+    they are visible to the optimizer only in its advisor modes. *)
+
+module Doc_store = Xia_storage.Doc_store
+module Path_stats = Xia_storage.Path_stats
+
+type table = {
+  store : Doc_store.t;
+  mutable stats : Path_stats.t option;
+  mutable real_indexes : Physical_index.t list;
+  mutable virtual_indexes : Index_def.t list;
+}
+
+type t
+
+val create : unit -> t
+
+(** @raise Invalid_argument on duplicate table names. *)
+val add_table : t -> Doc_store.t -> table
+
+val find_table : t -> string -> table option
+
+(** @raise Invalid_argument on unknown tables. *)
+val table_exn : t -> string -> table
+
+val table_names : t -> string list
+val store : t -> string -> Doc_store.t
+
+(** Collect (and cache) statistics for one table. *)
+val runstats : t -> string -> Path_stats.t
+
+val runstats_all : t -> unit
+
+(** Cached statistics, recollected automatically when the table changed. *)
+val stats : t -> string -> Path_stats.t
+
+(** Materialize an index. @raise Invalid_argument on logical duplicates. *)
+val create_index : t -> Index_def.t -> Physical_index.t
+
+(** Drop a real index by name; [false] if absent. *)
+val drop_index : t -> string -> bool
+
+val drop_all_indexes : t -> unit
+
+(** Rebuild real indexes whose base table changed. *)
+val refresh_indexes : t -> unit
+
+val real_indexes : t -> string -> Physical_index.t list
+
+(** Install a virtual-index configuration (replaces the previous one). *)
+val set_virtual_indexes : t -> Index_def.t list -> unit
+
+val clear_virtual_indexes : t -> unit
+val virtual_indexes : t -> string -> Index_def.t list
+
+val total_data_bytes : t -> int

@@ -1,0 +1,70 @@
+(* Logical definition of a partial XML index: an index pattern over one XML
+   column plus the SQL data type of the indexed values, mirroring DB2's
+
+     CREATE INDEX ... ON t(xmlcol)
+       GENERATE KEY USING XMLPATTERN '/Security/Yield' AS SQL DOUBLE      *)
+
+type data_type =
+  | Dstring
+  | Ddouble
+
+let data_type_to_string = function
+  | Dstring -> "VARCHAR"
+  | Ddouble -> "DOUBLE"
+
+let pp_data_type ppf t = Fmt.string ppf (data_type_to_string t)
+
+let equal_data_type a b =
+  match a, b with
+  | Dstring, Dstring | Ddouble, Ddouble -> true
+  | Dstring, Ddouble | Ddouble, Dstring -> false
+
+type t = {
+  name : string;
+  table : string;
+  pattern : Xia_xpath.Pattern.t;
+  dtype : data_type;
+}
+
+let counter = ref 0
+
+let fresh_name table pattern dtype =
+  incr counter;
+  Printf.sprintf "IDX%d_%s_%s_%s" !counter table
+    (match dtype with Dstring -> "S" | Ddouble -> "D")
+    (let s = Xia_xpath.Pattern.to_string pattern in
+     String.map
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+         | _ -> '_')
+       s)
+
+let make ?name ~table ~pattern ~dtype () =
+  let name =
+    match name with Some n -> n | None -> fresh_name table pattern dtype
+  in
+  { name; table; pattern; dtype }
+
+(* Logical identity ignores the name: same table, same pattern, same type. *)
+let same a b =
+  String.equal a.table b.table
+  && equal_data_type a.dtype b.dtype
+  && Xia_xpath.Pattern.equal a.pattern b.pattern
+
+let logical_key d =
+  Printf.sprintf "%s|%s|%s" d.table
+    (data_type_to_string d.dtype)
+    (Xia_xpath.Pattern.key d.pattern)
+
+(* [covers ~general ~specific]: the general index can serve every lookup the
+   specific one can — same table and type, containing pattern. *)
+let covers ~general ~specific =
+  String.equal general.table specific.table
+  && equal_data_type general.dtype specific.dtype
+  && Xia_xpath.Pattern.covers ~general:general.pattern ~specific:specific.pattern
+
+let pp ppf d =
+  Fmt.pf ppf "%s ON %s XMLPATTERN '%s' AS %s" d.name d.table
+    (Xia_xpath.Pattern.to_string d.pattern)
+    (data_type_to_string d.dtype)

@@ -1,0 +1,41 @@
+(** Logical definition of a partial XML index: table + index pattern + SQL
+    data type of the keys (DB2's [GENERATE KEY USING XMLPATTERN ... AS ...]).
+
+    A [Ddouble] index stores only the nodes whose value parses as a number; a
+    [Dstring] index stores every matched node's string value. *)
+
+type data_type =
+  | Dstring
+  | Ddouble
+
+val data_type_to_string : data_type -> string
+val pp_data_type : Format.formatter -> data_type -> unit
+val equal_data_type : data_type -> data_type -> bool
+
+type t = {
+  name : string;
+  table : string;
+  pattern : Xia_xpath.Pattern.t;
+  dtype : data_type;
+}
+
+(** Create a definition; a unique name is generated when [name] is absent. *)
+val make :
+  ?name:string ->
+  table:string ->
+  pattern:Xia_xpath.Pattern.t ->
+  dtype:data_type ->
+  unit ->
+  t
+
+(** Logical identity: same table, pattern and type (names ignored). *)
+val same : t -> t -> bool
+
+(** Canonical key of the logical identity. *)
+val logical_key : t -> string
+
+(** [covers ~general ~specific]: the general index can serve every lookup of
+    the specific one (same table/type, containing pattern). *)
+val covers : general:t -> specific:t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+(* Materialized partial XML index.
+
+   Entries are (key, doc, node) triples for every node covered by the index
+   pattern (and, for Ddouble, whose value parses as a number), kept sorted by
+   key for binary-search lookups — a flat stand-in for a B-tree with the same
+   asymptotics. *)
+
+module Doc_store = Xia_storage.Doc_store
+module Cost_params = Xia_storage.Cost_params
+
+type key =
+  | Kstring of string
+  | Kdouble of float
+
+let compare_key a b =
+  match a, b with
+  | Kstring x, Kstring y -> String.compare x y
+  | Kdouble x, Kdouble y -> Float.compare x y
+  | Kstring _, Kdouble _ -> 1
+  | Kdouble _, Kstring _ -> -1
+
+let pp_key ppf = function
+  | Kstring s -> Fmt.pf ppf "%S" s
+  | Kdouble f -> Fmt.float ppf f
+
+type entry = {
+  key : key;
+  doc : Doc_store.doc_id;
+  node : Xia_xml.Types.node_id;
+}
+
+type t = {
+  def : Index_def.t;
+  entries : entry array;
+  built_generation : int;
+  key_bytes : int;
+}
+
+let def t = t.def
+let entry_count t = Array.length t.entries
+let built_generation t = t.built_generation
+
+let key_of_value dtype value =
+  match dtype with
+  | Index_def.Dstring -> Some (Kstring value)
+  | Index_def.Ddouble -> (
+      match float_of_string_opt (String.trim value) with
+      | Some v -> Some (Kdouble v)
+      | None -> None)
+
+(* Memoize pattern acceptance per distinct label path: documents of a table
+   share a small dataguide, so this avoids re-running the NFA per node. *)
+let acceptor (def : Index_def.t) =
+  let accepts_memo : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  fun path ->
+    let k = String.concat "/" path in
+    match Hashtbl.find_opt accepts_memo k with
+    | Some b -> b
+    | None ->
+        let b = Xia_xpath.Pattern.accepts def.pattern path in
+        Hashtbl.add accepts_memo k b;
+        b
+
+let key_size = function Kstring s -> String.length s | Kdouble _ -> 8
+
+let entries_of_doc (def : Index_def.t) accepts doc_id doc =
+  let acc = ref [] in
+  Xia_xml.Types.iter_nodes
+    (fun node path value ->
+      if accepts path then
+        match key_of_value def.dtype value with
+        | None -> ()
+        | Some key -> acc := { key; doc = doc_id; node } :: !acc)
+    doc;
+  !acc
+
+let compare_entry a b =
+  match compare_key a.key b.key with
+  | 0 -> (
+      match compare a.doc b.doc with
+      | 0 -> Xia_xml.Types.compare_node_id a.node b.node
+      | c -> c)
+  | c -> c
+
+let of_entry_list def ~generation acc =
+  let entries = Array.of_list acc in
+  Array.sort compare_entry entries;
+  let key_bytes = Array.fold_left (fun n e -> n + key_size e.key) 0 entries in
+  { def; entries; built_generation = generation; key_bytes }
+
+let build store (def : Index_def.t) =
+  let accepts = acceptor def in
+  let acc = ref [] in
+  Doc_store.iter
+    (fun doc_id doc -> acc := List.rev_append (entries_of_doc def accepts doc_id doc) !acc)
+    store;
+  of_entry_list def ~generation:(Doc_store.generation store) !acc
+
+(* Incremental maintenance: fold a change list into the index without
+   rescanning the whole table.  Every touched document's old entries are
+   dropped; documents whose final state is present contribute fresh ones. *)
+let apply_changes pi ~generation (changes : Doc_store.change list) =
+  let net : (Doc_store.doc_id, Xia_xml.Types.t option) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Doc_store.change) ->
+      match c.kind with
+      | `Insert -> Hashtbl.replace net c.doc_id (Some c.doc)
+      | `Delete -> Hashtbl.replace net c.doc_id None)
+    changes;
+  let kept =
+    Array.to_list pi.entries
+    |> List.filter (fun e -> not (Hashtbl.mem net e.doc))
+  in
+  let accepts = acceptor pi.def in
+  let added =
+    Hashtbl.fold
+      (fun doc_id doc acc ->
+        match doc with
+        | None -> acc
+        | Some doc -> List.rev_append (entries_of_doc pi.def accepts doc_id doc) acc)
+      net []
+  in
+  of_entry_list pi.def ~generation (List.rev_append added kept)
+
+(* First position with key >= k (lower bound). *)
+let lower_bound t k =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key t.entries.(mid).key k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First position with key > k (upper bound). *)
+let upper_bound t k =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key t.entries.(mid).key k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let slice t lo hi =
+  let rec collect i acc = if i < lo then acc else collect (i - 1) (t.entries.(i) :: acc) in
+  if hi <= lo then [] else collect (hi - 1) []
+
+let lookup_eq t k = slice t (lower_bound t k) (upper_bound t k)
+
+type bound =
+  | Unbounded
+  | Inclusive of key
+  | Exclusive of key
+
+let lookup_range t ~lo ~hi =
+  let start =
+    match lo with
+    | Unbounded -> 0
+    | Inclusive k -> lower_bound t k
+    | Exclusive k -> upper_bound t k
+  in
+  let stop =
+    match hi with
+    | Unbounded -> Array.length t.entries
+    | Inclusive k -> upper_bound t k
+    | Exclusive k -> lower_bound t k
+  in
+  slice t start stop
+
+let lookup_ne t k =
+  slice t 0 (lower_bound t k) @ slice t (upper_bound t k) (Array.length t.entries)
+
+let all t = slice t 0 (Array.length t.entries)
+
+let iter f t = Array.iter f t.entries
+
+(* Actual size under the same layout model used for virtual indexes, so that
+   real and virtual configurations are measured with one yardstick. *)
+let size_bytes t =
+  let entries = Array.length t.entries in
+  if entries = 0 then Cost_params.page_size
+  else
+    let avg_key_bytes = float_of_int t.key_bytes /. float_of_int entries in
+    let size, _, _ = Index_stats.btree_shape ~entries ~avg_key_bytes in
+    size
+
+let distinct_doc_count entries =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace seen e.doc ()) entries;
+  Hashtbl.length seen

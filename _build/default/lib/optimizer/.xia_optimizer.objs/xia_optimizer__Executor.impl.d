@@ -1,0 +1,1 @@
+lib/optimizer/executor.ml: Float Hashtbl List Optimizer Plan String Sys Xia_index Xia_query Xia_storage Xia_xml Xia_xpath

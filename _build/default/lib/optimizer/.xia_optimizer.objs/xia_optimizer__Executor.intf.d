@@ -1,0 +1,1 @@
+lib/optimizer/executor.mli: Plan Xia_index Xia_query Xia_xml Xia_xpath

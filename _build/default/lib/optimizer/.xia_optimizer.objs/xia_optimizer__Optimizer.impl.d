@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Float Hashtbl List Option Plan Printf Selectivity String Xia_index Xia_query Xia_storage Xia_xml Xia_xpath

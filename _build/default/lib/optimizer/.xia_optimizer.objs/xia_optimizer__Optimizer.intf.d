@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Plan Xia_index Xia_query Xia_xpath

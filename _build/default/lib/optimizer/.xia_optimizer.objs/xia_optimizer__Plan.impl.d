@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Fmt Hashtbl List Xia_index Xia_query Xia_xpath

@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Format Xia_index Xia_query

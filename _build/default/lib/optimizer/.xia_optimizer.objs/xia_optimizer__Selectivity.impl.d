@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.ml: Float List Xia_index Xia_query Xia_storage Xia_xpath

@@ -1,0 +1,1 @@
+lib/optimizer/selectivity.mli: Xia_index Xia_query Xia_storage Xia_xpath

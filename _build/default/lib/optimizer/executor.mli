@@ -1,0 +1,31 @@
+(** Physical plan execution — used to measure actual (not estimated)
+    workload speedups. *)
+
+module Catalog = Xia_index.Catalog
+module Ast = Xia_query.Ast
+
+type metrics = {
+  mutable docs_scanned : int;   (** documents examined by table scans *)
+  mutable docs_fetched : int;   (** documents fetched through indexes *)
+  mutable index_entries : int;  (** index entries touched *)
+  mutable simulated_cost : float;
+  (** work actually performed, in cost-model units: I/O for pages touched plus
+      CPU for nodes navigated and index entries scanned *)
+}
+
+type result = {
+  rows : int;
+  metrics : metrics;
+  wall_seconds : float;
+}
+
+(** Replace the direct text content of the elements matched by the target
+    path (element children are preserved). *)
+val set_value : Xia_xml.Types.t -> Xia_xpath.Ast.path -> string -> Xia_xml.Types.t
+
+(** Execute a plan.  A virtual index scan whose index is not materialized
+    falls back to a document scan. *)
+val run_plan : Catalog.t -> Plan.t -> result
+
+(** Refresh stale indexes, optimize in [Normal] mode and execute. *)
+val run_statement : Catalog.t -> Ast.statement -> result

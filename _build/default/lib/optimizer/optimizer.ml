@@ -1,0 +1,300 @@
+(* The cost-based query optimizer.
+
+   Besides its normal duty (choosing plans over real indexes), it implements
+   the two advisor modes the paper adds to DB2:
+
+   - Enumerate Indexes: optimize the statement with a virtual universal index
+     ("//*", and "//@*" for attributes) in place and report every query
+     pattern the index-matching step matched against it;
+   - Evaluate Indexes: cost the statement against the catalog's current
+     virtual-index configuration.
+
+   All index statistics — virtual or real — are derived from data statistics,
+   so estimated costs are consistent across modes. *)
+
+module Catalog = Xia_index.Catalog
+module Index_def = Xia_index.Index_def
+module Index_stats = Xia_index.Index_stats
+module Doc_store = Xia_storage.Doc_store
+module Path_stats = Xia_storage.Path_stats
+module C = Xia_storage.Cost_params
+module Rewriter = Xia_query.Rewriter
+module Ast = Xia_query.Ast
+module Pattern = Xia_xpath.Pattern
+
+type mode =
+  | Normal    (* real indexes *)
+  | Evaluate  (* virtual indexes: the advisor's Evaluate Indexes mode *)
+
+type counters = {
+  mutable optimize_calls : int;
+  mutable enumerate_calls : int;
+  mutable plans_considered : int;
+}
+
+let counters = { optimize_calls = 0; enumerate_calls = 0; plans_considered = 0 }
+
+let reset_counters () =
+  counters.optimize_calls <- 0;
+  counters.enumerate_calls <- 0;
+  counters.plans_considered <- 0
+
+(* Indexes visible to the optimizer in the given mode. *)
+let visible_indexes catalog mode table =
+  match mode with
+  | Normal ->
+      List.map
+        (fun pi -> (Xia_index.Physical_index.def pi, false))
+        (Catalog.real_indexes catalog table)
+  | Evaluate -> List.map (fun d -> (d, true)) (Catalog.virtual_indexes catalog table)
+
+(* Index matching: can this index serve this access?  Same table, same data
+   type, and the index pattern covers the access pattern. *)
+let index_matches (def : Index_def.t) (access : Rewriter.access) =
+  String.equal def.table access.table
+  && Index_def.equal_data_type def.dtype access.dtype
+  && Pattern.covers ~general:def.pattern ~specific:access.pattern
+
+let avg_doc_pages (tstats : Path_stats.t) =
+  if tstats.doc_count = 0 then 1.0
+  else
+    Float.max 1.0
+      (float_of_int tstats.total_bytes
+      /. float_of_int tstats.doc_count /. float_of_int C.page_size)
+
+let avg_doc_elements (tstats : Path_stats.t) =
+  if tstats.doc_count = 0 then 0.0
+  else float_of_int tstats.total_elements /. float_of_int tstats.doc_count
+
+(* Cost of verifying one fetched document against the full binding. *)
+let verify_cost_per_doc tstats nfilters =
+  (avg_doc_elements tstats *. C.cpu_per_node)
+  +. (float_of_int (nfilters + 1) *. C.cpu_per_predicate)
+
+(* Number of elementary predicate evaluations per document. *)
+let predicate_count (info : Rewriter.binding_info) =
+  List.length (List.concat info.filters)
+
+let doc_scan_cost tstats store (info : Rewriter.binding_info) =
+  let docs = float_of_int tstats.Path_stats.doc_count in
+  let pages = float_of_int (Doc_store.pages store) in
+  (pages *. C.sequential_page_cost)
+  +. (docs *. verify_cost_per_doc tstats (predicate_count info))
+
+let index_scan_parts tstats (choice : Plan.index_choice) =
+  let s = choice.stats in
+  let entries = float_of_int s.Index_stats.entries in
+  let est =
+    Selectivity.lookup_estimate ~query:choice.access.Rewriter.pattern tstats
+      choice.def.Index_def.pattern choice.def.Index_def.dtype
+      choice.access.condition
+  in
+  let entries_scanned = est.Selectivity.entries_matched in
+  let leaf_frac = if entries = 0.0 then 0.0 else entries_scanned /. entries in
+  let descend = float_of_int s.Index_stats.levels *. C.effective_random_page_cost in
+  let leaf_io =
+    float_of_int s.Index_stats.leaf_pages *. leaf_frac *. C.sequential_page_cost
+  in
+  let entry_cpu = entries_scanned *. C.cpu_per_index_entry in
+  let docs_fetched = est.Selectivity.docs_matched in
+  let lookup = descend +. leaf_io +. entry_cpu in
+  (lookup, docs_fetched, Float.min 1.0 (docs_fetched /. Float.max 1.0 (float_of_int tstats.Path_stats.doc_count)))
+
+let fetch_and_verify_cost tstats nfilters docs =
+  docs
+  *. ((C.effective_random_page_cost *. avg_doc_pages tstats)
+     +. verify_cost_per_doc tstats nfilters)
+
+let index_scan_cost tstats (info : Rewriter.binding_info) choice =
+  let nfilters = predicate_count info in
+  let lookup, docs_fetched, _frac = index_scan_parts tstats choice in
+  lookup +. fetch_and_verify_cost tstats nfilters docs_fetched
+
+(* OR filter served by one index per disjunct: union of the probes. *)
+let index_or_cost tstats (info : Rewriter.binding_info) choices =
+  let nfilters = predicate_count info in
+  let docs_cap = Float.max 1.0 (float_of_int tstats.Path_stats.doc_count) in
+  let lookups, docs_union =
+    List.fold_left
+      (fun (lk, du) choice ->
+        let lookup, docs_fetched, _ = index_scan_parts tstats choice in
+        (lk +. lookup, du +. docs_fetched))
+      (0.0, 0.0) choices
+  in
+  let docs_union = Float.min docs_cap docs_union in
+  lookups +. fetch_and_verify_cost tstats nfilters docs_union
+
+let index_and_cost tstats (info : Rewriter.binding_info) choices =
+  let nfilters = predicate_count info in
+  let docs = Float.max 1.0 (float_of_int tstats.Path_stats.doc_count) in
+  let lookups, rid_cpu, inter_frac =
+    List.fold_left
+      (fun (lk, rc, fr) choice ->
+        let lookup, docs_fetched, frac = index_scan_parts tstats choice in
+        (lk +. lookup, rc +. (docs_fetched *. C.cpu_per_index_entry), fr *. frac))
+      (0.0, 0.0, 1.0) choices
+  in
+  let inter_docs = docs *. inter_frac in
+  lookups +. rid_cpu +. fetch_and_verify_cost tstats nfilters inter_docs
+
+(* Result-size estimate, independent of the access path. *)
+let est_result_docs tstats (info : Rewriter.binding_info) =
+  float_of_int tstats.Path_stats.doc_count
+  *. Selectivity.combined_doc_fraction tstats info.filters
+
+let plan_binding catalog mode (info : Rewriter.binding_info) =
+  let table = info.source.Ast.table in
+  let tstats = Catalog.stats catalog table in
+  let store = Catalog.store catalog table in
+  let indexes = visible_indexes catalog mode table in
+  let est_docs = est_result_docs tstats info in
+  let result_cpu = est_docs *. C.cpu_per_result in
+  let scan_cost = doc_scan_cost tstats store info +. result_cpu in
+  counters.plans_considered <- counters.plans_considered + 1;
+  (* Best matching index per access. *)
+  let best_choice_for (access : Rewriter.access) =
+    let applicable =
+      List.filter_map
+        (fun (def, is_virtual) ->
+          if index_matches def access then
+            let stats = Index_stats.derive_cached tstats def in
+            if stats.Index_stats.entries = 0 then None
+            else Some { Plan.def; stats; access; is_virtual }
+          else None)
+        indexes
+    in
+    List.fold_left
+      (fun acc c ->
+        let cost = index_scan_cost tstats info c in
+        counters.plans_considered <- counters.plans_considered + 1;
+        match acc with
+        | Some (_, best_cost) when best_cost <= cost -> acc
+        | Some _ | None -> Some (c, cost))
+      None applicable
+  in
+  (* Per filter: a single index scan for a plain predicate, an index OR (one
+     index per disjunct, all required) for a disjunctive one. *)
+  let filter_plans =
+    List.filter_map
+      (fun (filter : Rewriter.filter) ->
+        match filter with
+        | [] -> None
+        | [ access ] ->
+            Option.map (fun (c, cost) -> (Plan.Index_scan c, cost)) (best_choice_for access)
+        | disjuncts ->
+            let choices = List.map best_choice_for disjuncts in
+            if List.for_all Option.is_some choices then begin
+              let choices = List.map (fun o -> fst (Option.get o)) choices in
+              counters.plans_considered <- counters.plans_considered + 1;
+              Some (Plan.Index_or choices, index_or_cost tstats info choices)
+            end
+            else None)
+      info.filters
+  in
+  let single_plans =
+    List.map (fun (p, cost) -> (p, cost +. result_cpu)) filter_plans
+  in
+  (* AND-combinations of the single-scan winners (pairs). *)
+  let scan_winners =
+    List.filter_map
+      (fun (p, _) -> match p with Plan.Index_scan c -> Some c | _ -> None)
+      filter_plans
+  in
+  let rec pairs = function
+    | [] -> []
+    | c :: rest -> List.map (fun c' -> (c, c')) rest @ pairs rest
+  in
+  let and_plans =
+    List.map
+      (fun (c, c') ->
+        counters.plans_considered <- counters.plans_considered + 1;
+        let cost = index_and_cost tstats info [ c; c' ] +. result_cpu in
+        (Plan.Index_and [ c; c' ], cost))
+      (pairs scan_winners)
+  in
+  let all_plans = ((Plan.Doc_scan, scan_cost) :: single_plans) @ and_plans in
+  let plan, est_cost =
+    List.fold_left
+      (fun (bp, bc) (p, c) -> if c < bc then (p, c) else (bp, bc))
+      (List.hd all_plans) (List.tl all_plans)
+  in
+  { Plan.info; plan; est_cost; est_docs }
+
+let insert_cost catalog table doc =
+  let tstats = Catalog.stats catalog table in
+  ignore tstats;
+  let bytes = float_of_int (Xia_xml.Types.byte_size doc) in
+  let pages = Float.max 1.0 (bytes /. float_of_int C.page_size) in
+  (pages *. C.sequential_page_cost)
+  +. (float_of_int (Xia_xml.Types.count_elements doc) *. C.cpu_per_node)
+
+let modify_cost_per_doc tstats ~factor =
+  (avg_doc_pages tstats *. C.sequential_page_cost *. factor)
+  +. (avg_doc_elements tstats *. C.cpu_per_node)
+
+let optimize ?(mode = Evaluate) catalog (stmt : Ast.statement) =
+  counters.optimize_calls <- counters.optimize_calls + 1;
+  let bindings = Rewriter.bindings_of_statement stmt in
+  let planned = List.map (plan_binding catalog mode) bindings in
+  let locate_cost = List.fold_left (fun acc b -> acc +. b.Plan.est_cost) 0.0 planned in
+  match stmt with
+  | Ast.Select _ ->
+      { Plan.statement = stmt; bindings = planned; total_cost = locate_cost; affected_docs = 0.0 }
+  | Ast.Insert { table; document } ->
+      let cost = insert_cost catalog table document in
+      { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = 1.0 }
+  | Ast.Delete { table; _ } ->
+      let tstats = Catalog.stats catalog table in
+      let affected =
+        match planned with [ b ] -> b.Plan.est_docs | _ -> 0.0
+      in
+      let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:1.0) in
+      { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
+  | Ast.Update { table; _ } ->
+      let tstats = Catalog.stats catalog table in
+      let affected =
+        match planned with [ b ] -> b.Plan.est_docs | _ -> 0.0
+      in
+      let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:2.0) in
+      { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
+
+let statement_cost ?mode catalog stmt = (optimize ?mode catalog stmt).Plan.total_cost
+
+(* The Enumerate Indexes mode.  A universal virtual index (for each data type
+   and node kind) is put in place for every table the statement touches; the
+   index-matching step then reports every access it matches.  The result is
+   the statement's basic candidate patterns. *)
+let universal_defs table =
+  [
+    Index_def.make ~name:("__univ_elem_str_" ^ table) ~table ~pattern:Pattern.universal
+      ~dtype:Index_def.Dstring ();
+    Index_def.make ~name:("__univ_elem_num_" ^ table) ~table ~pattern:Pattern.universal
+      ~dtype:Index_def.Ddouble ();
+    Index_def.make ~name:("__univ_attr_str_" ^ table) ~table ~pattern:Pattern.universal_attr
+      ~dtype:Index_def.Dstring ();
+    Index_def.make ~name:("__univ_attr_num_" ^ table) ~table ~pattern:Pattern.universal_attr
+      ~dtype:Index_def.Ddouble ();
+  ]
+
+let enumerate_indexes _catalog (stmt : Ast.statement) =
+  counters.enumerate_calls <- counters.enumerate_calls + 1;
+  let universals = List.concat_map universal_defs (Ast.tables stmt) in
+  let accesses = Rewriter.indexable_accesses stmt in
+  let matched =
+    List.filter
+      (fun access -> List.exists (fun def -> index_matches def access) universals)
+      accesses
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (a : Rewriter.access) ->
+      let key =
+        Printf.sprintf "%s|%s|%s" a.table (Pattern.key a.pattern)
+          (Index_def.data_type_to_string a.dtype)
+      in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some (a.table, a.pattern, a.dtype)
+      end)
+    matched

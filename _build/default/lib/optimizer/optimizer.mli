@@ -1,0 +1,37 @@
+(** The cost-based query optimizer, including the two advisor modes the paper
+    adds to the database server: Enumerate Indexes and Evaluate Indexes. *)
+
+module Catalog = Xia_index.Catalog
+module Index_def = Xia_index.Index_def
+module Ast = Xia_query.Ast
+module Pattern = Xia_xpath.Pattern
+
+type mode =
+  | Normal    (** plan over real (materialized) indexes *)
+  | Evaluate  (** plan over the catalog's virtual-index configuration *)
+
+type counters = {
+  mutable optimize_calls : int;
+  mutable enumerate_calls : int;
+  mutable plans_considered : int;
+}
+
+(** Global optimizer-call accounting (the quantity the paper's Section VI-C
+    minimizes). *)
+val counters : counters
+
+val reset_counters : unit -> unit
+
+(** Index matching: can [def] serve [access]?  Same table and data type, and
+    the index pattern covers the access pattern. *)
+val index_matches : Index_def.t -> Xia_query.Rewriter.access -> bool
+
+(** Optimize a statement; default mode is [Evaluate]. *)
+val optimize : ?mode:mode -> Catalog.t -> Ast.statement -> Plan.t
+
+val statement_cost : ?mode:mode -> Catalog.t -> Ast.statement -> float
+
+(** Enumerate Indexes mode: the statement's basic candidate patterns, i.e.
+    every access pattern matched against a universal virtual index. *)
+val enumerate_indexes :
+  Catalog.t -> Ast.statement -> (string * Pattern.t * Index_def.data_type) list

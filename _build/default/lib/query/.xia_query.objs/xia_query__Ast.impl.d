@@ -1,0 +1,1 @@
+lib/query/ast.ml: List String Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+lib/query/ast.mli: Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Fmt List Printf String Xia_xml Xia_xpath

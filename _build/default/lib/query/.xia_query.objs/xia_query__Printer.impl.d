@@ -1,0 +1,1 @@
+lib/query/printer.ml: Ast Buffer Fmt List Printf Xia_xml Xia_xpath

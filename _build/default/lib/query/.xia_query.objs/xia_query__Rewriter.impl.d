@@ -1,0 +1,1 @@
+lib/query/rewriter.ml: Ast Fmt Hashtbl List Printf String Xia_index Xia_xpath

@@ -1,0 +1,1 @@
+lib/query/rewriter.mli: Ast Format Xia_index Xia_xpath

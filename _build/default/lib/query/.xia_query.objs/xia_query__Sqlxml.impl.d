@@ -1,0 +1,1 @@
+lib/query/sqlxml.ml: Ast Buffer Fmt List Parser Printf String Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+lib/query/sqlxml.mli: Ast Format

@@ -1,0 +1,76 @@
+(* Workload statement AST: a FLWOR subset plus insert/delete/update.
+
+   This models the XQuery shapes the paper's TPoX workload uses:
+
+     for $sec in SECURITY('SDOC')/Security[Yield>4.5]
+     where $sec/SecInfo/*/Sector = "Energy"
+     return <Security>{$sec/Name}</Security>
+
+   Variables bind to nodes reached by an absolute path over one table; where
+   clauses constrain a variable through a relative path; return clauses
+   extract relative paths (possibly wrapped in element constructors, which we
+   record for faithful printing but which carry no optimization weight). *)
+
+module Xp = Xia_xpath.Ast
+
+type source = {
+  table : string;
+  column : string;  (* informational: TPoX's SECURITY('SDOC') argument *)
+  path : Xp.path;   (* absolute, may contain predicates *)
+}
+
+type where_clause = {
+  var : string;
+  predicate : Xp.predicate;  (* relative path + optional comparison *)
+}
+
+(* One conjunct of the where clause: a disjunction of simple clauses.  The
+   common case is a singleton ("$x/a = 1"); multiple entries mean OR
+   ("$x/a = 1 or $x/b = 2"), which index plans serve by index ORing. *)
+type where_group = where_clause list
+
+type return_item =
+  | Ret_var of string                     (* $v *)
+  | Ret_path of string * Xp.path          (* $v/rel *)
+  | Ret_element of string * return_item list  (* <tag>{...}</tag> *)
+
+type flwor = {
+  bindings : (string * source) list;
+  where : where_group list;  (* conjunction of disjunctions *)
+  return_ : return_item list;
+}
+
+type statement =
+  | Select of flwor
+  | Insert of { table : string; document : Xia_xml.Types.t }
+  | Delete of { table : string; selector : Xp.path }
+      (* delete every document in which the selector matches *)
+  | Update of {
+      table : string;
+      selector : Xp.path;  (* documents to update *)
+      target : Xp.path;    (* nodes to modify within each document *)
+      new_value : string;
+    }
+
+let is_query = function
+  | Select _ -> true
+  | Insert _ | Delete _ | Update _ -> false
+
+let is_dml s = not (is_query s)
+
+let statement_table = function
+  | Select f -> (
+      match f.bindings with
+      | (_, src) :: _ -> Some src.table
+      | [] -> None)
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> Some table
+
+let rec return_vars = function
+  | Ret_var v -> [ v ]
+  | Ret_path (v, _) -> [ v ]
+  | Ret_element (_, items) -> List.concat_map return_vars items
+
+(* All tables a statement touches. *)
+let tables = function
+  | Select f -> List.sort_uniq String.compare (List.map (fun (_, s) -> s.table) f.bindings)
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> [ table ]

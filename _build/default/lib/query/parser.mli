@@ -1,0 +1,10 @@
+(** Parser for workload statements (mini-XQuery FLWOR plus DML). *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_statement : string -> (Ast.statement, error) result
+
+(** @raise Invalid_argument on malformed input. *)
+val parse_statement_exn : string -> Ast.statement

@@ -1,0 +1,288 @@
+(* SQL/XML front end.
+
+   The paper stresses that the advisor supports "both XQuery and SQL/XML
+   simply by virtue of the fact that the DB2 query optimizer supports both of
+   these languages" — the advisor works on whatever the optimizer can parse
+   and match.  This module gives the reproduction the same property: a
+   DB2-flavoured SQL/XML subset is parsed into the same statement AST the
+   XQuery front end produces, so enumeration, costing and search are
+   identical for both languages.
+
+   Supported subset (keywords case-insensitive):
+
+     SELECT * FROM t WHERE XMLEXISTS('$d/path[pred]' [PASSING col AS "d"])
+     SELECT XMLQUERY('$d/path2') FROM t WHERE XMLEXISTS('$d/path1' ...)
+     INSERT INTO t VALUES (XMLPARSE('<doc.../>'))
+     INSERT INTO t VALUES ('<doc.../>')
+     DELETE FROM t WHERE XMLEXISTS('$d/path[pred]' ...)
+     UPDATE t SET XMLPATH '/a/b' = 'v' WHERE XMLEXISTS('$d/path[pred]' ...)
+
+   The XMLEXISTS argument is an absolute path over the document; the binding
+   variable prefix ("$d/") is optional.  The PASSING clause is accepted and
+   recorded as the column name. *)
+
+type error = { position : int; message : string }
+
+let pp_error ppf e = Fmt.pf ppf "SQL/XML parse error at offset %d: %s" e.position e.message
+
+exception Fail of error
+
+type state = {
+  input : string;
+  mutable pos : int;
+}
+
+let fail st message = raise (Fail { position = st.pos; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st
+  done
+
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+(* Case-insensitive keyword. *)
+let keyword st kw =
+  skip_space st;
+  let n = String.length kw in
+  if
+    st.pos + n <= String.length st.input
+    && String.uppercase_ascii (String.sub st.input st.pos n) = String.uppercase_ascii kw
+    && (st.pos + n >= String.length st.input || not (is_word_char st.input.[st.pos + n]))
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (keyword st kw) then fail st (Printf.sprintf "expected %s" (String.uppercase_ascii kw))
+
+let parse_word st =
+  skip_space st;
+  let start = st.pos in
+  while (match peek st with Some c when is_word_char c -> true | _ -> false) do
+    advance st
+  done;
+  if st.pos = start then fail st "expected an identifier";
+  String.sub st.input start (st.pos - start)
+
+let expect_char st c =
+  skip_space st;
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+(* SQL single-quoted string with '' escaping. *)
+let parse_sql_string st =
+  skip_space st;
+  (match peek st with
+  | Some '\'' -> advance st
+  | _ -> fail st "expected a string literal");
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '\'' ->
+        advance st;
+        if peek st = Some '\'' then begin
+          Buffer.add_char buf '\'';
+          advance st;
+          loop ()
+        end
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+(* Strip an optional leading "$var/" from an XMLEXISTS/XMLQUERY argument. *)
+let strip_binding_var s =
+  let s = String.trim s in
+  if String.length s > 1 && s.[0] = '$' then
+    match String.index_opt s '/' with
+    | Some i -> String.sub s i (String.length s - i)
+    | None -> s
+  else s
+
+let parse_inner_path st raw =
+  match Xia_xpath.Parser.parse (strip_binding_var raw) with
+  | Ok p -> p
+  | Error (e : Xia_xpath.Parser.error) ->
+      raise (Fail { position = st.pos; message = "in XMLEXISTS path: " ^ e.message })
+
+(* XMLEXISTS('path' [PASSING col AS "d"]); returns (path, column). *)
+let parse_xmlexists st =
+  expect_keyword st "XMLEXISTS";
+  expect_char st '(';
+  let raw = parse_sql_string st in
+  let path = parse_inner_path st raw in
+  let column =
+    if keyword st "PASSING" then begin
+      let col = parse_word st in
+      if keyword st "AS" then begin
+        skip_space st;
+        (match peek st with
+        | Some '"' -> (
+            advance st;
+            let _var = parse_word st in
+            match peek st with
+            | Some '"' -> advance st
+            | _ -> fail st "expected closing '\"'")
+        | _ -> ignore (parse_word st))
+      end;
+      col
+    end
+    else "XMLDOC"
+  in
+  expect_char st ')';
+  (path, column)
+
+let finish st stmt =
+  skip_space st;
+  if peek st = Some ';' then advance st;
+  skip_space st;
+  if st.pos <> String.length st.input then
+    Error { position = st.pos; message = "trailing characters" }
+  else Ok stmt
+
+(* Derive the relative return path of XMLQUERY('$d/p2') against the
+   XMLEXISTS binding path: if p2 extends the binding's first step, the rest
+   becomes a relative return path. *)
+let return_of_xmlquery binding_path q_path =
+  match binding_path, q_path with
+  | b0 :: _, q0 :: (_ :: _ as rest)
+    when Xia_xpath.Ast.equal_node_test b0.Xia_xpath.Ast.test q0.Xia_xpath.Ast.test ->
+      Ast.Ret_path ("d", rest)
+  | _ -> Ast.Ret_var "d"
+
+let parse_statement_state st =
+  skip_space st;
+  if keyword st "SELECT" then begin
+    let xmlquery_raw =
+      if keyword st "XMLQUERY" then begin
+        expect_char st '(';
+        let raw = parse_sql_string st in
+        (* tolerate a PASSING clause inside XMLQUERY too *)
+        if keyword st "PASSING" then begin
+          ignore (parse_word st);
+          if keyword st "AS" then begin
+            skip_space st;
+            match peek st with
+            | Some '"' ->
+                advance st;
+                ignore (parse_word st);
+                expect_char st '"'
+            | _ -> ignore (parse_word st)
+          end
+        end;
+        expect_char st ')';
+        Some raw
+      end
+      else begin
+        skip_space st;
+        (match peek st with
+        | Some '*' -> advance st
+        | _ -> fail st "expected '*' or XMLQUERY(...)");
+        None
+      end
+    in
+    expect_keyword st "FROM";
+    let table = parse_word st in
+    expect_keyword st "WHERE";
+    let path, column = parse_xmlexists st in
+    let return_ =
+      match xmlquery_raw with
+      | None -> [ Ast.Ret_var "d" ]
+      | Some raw -> [ return_of_xmlquery path (parse_inner_path st raw) ]
+    in
+    Ast.Select
+      {
+        bindings = [ ("d", { Ast.table; column; path }) ];
+        where = [];
+        return_;
+      }
+  end
+  else if keyword st "INSERT" then begin
+    expect_keyword st "INTO";
+    let table = parse_word st in
+    expect_keyword st "VALUES";
+    expect_char st '(';
+    let xml_text =
+      if keyword st "XMLPARSE" then begin
+        expect_char st '(';
+        let s = parse_sql_string st in
+        expect_char st ')';
+        s
+      end
+      else parse_sql_string st
+    in
+    expect_char st ')';
+    match Xia_xml.Parser.parse xml_text with
+    | Ok document -> Ast.Insert { table; document }
+    | Error e ->
+        raise (Fail { position = st.pos; message = "in XML value: " ^ e.message })
+  end
+  else if keyword st "DELETE" then begin
+    expect_keyword st "FROM";
+    let table = parse_word st in
+    expect_keyword st "WHERE";
+    let selector, _ = parse_xmlexists st in
+    Ast.Delete { table; selector }
+  end
+  else if keyword st "UPDATE" then begin
+    let table = parse_word st in
+    expect_keyword st "SET";
+    expect_keyword st "XMLPATH";
+    let target_raw = parse_sql_string st in
+    let target = parse_inner_path st target_raw in
+    expect_char st '=';
+    let new_value = parse_sql_string st in
+    expect_keyword st "WHERE";
+    let selector, _ = parse_xmlexists st in
+    Ast.Update { table; selector; target; new_value }
+  end
+  else fail st "expected SELECT, INSERT, DELETE or UPDATE"
+
+let parse_statement input =
+  let st = { input; pos = 0 } in
+  try finish st (parse_statement_state st) with Fail e -> Error e
+
+let parse_statement_exn input =
+  match parse_statement input with
+  | Ok s -> s
+  | Error e -> invalid_arg (Fmt.str "%S: %a" input pp_error e)
+
+(* Parse either language: SQL/XML when the statement starts with a SQL verb,
+   mini-XQuery otherwise. *)
+let parse_any input =
+  let trimmed = String.trim input in
+  let starts_with_sql =
+    List.exists
+      (fun kw ->
+        String.length trimmed >= String.length kw
+        && String.uppercase_ascii (String.sub trimmed 0 (String.length kw)) = kw)
+      [ "SELECT"; "DELETE FROM"; "UPDATE "; "INSERT INTO" ]
+  in
+  (* "insert into"/"delete from"/"update" exist in both grammars; the XQuery
+     front end is tried first for them, the SQL/XML one on failure. *)
+  if starts_with_sql then
+    match Parser.parse_statement input with
+    | Ok s -> Ok (`Xquery s)
+    | Error _ -> (
+        match parse_statement input with
+        | Ok s -> Ok (`Sqlxml s)
+        | Error e -> Error (Fmt.str "%a" pp_error e))
+  else
+    match Parser.parse_statement input with
+    | Ok s -> Ok (`Xquery s)
+    | Error e -> Error (Fmt.str "%a" Parser.pp_error e)

@@ -1,0 +1,25 @@
+(** SQL/XML front end: a DB2-flavoured subset parsed into the same statement
+    AST as the XQuery front end, so the advisor treats both languages
+    identically (the paper's dual-language property).
+
+    Supported forms (keywords case-insensitive):
+    {v
+    SELECT * FROM t WHERE XMLEXISTS('$d/path[pred]' PASSING col AS "d")
+    SELECT XMLQUERY('$d/path2') FROM t WHERE XMLEXISTS('$d/path1' ...)
+    INSERT INTO t VALUES (XMLPARSE('<doc.../>'))
+    DELETE FROM t WHERE XMLEXISTS('$d/path[pred]' ...)
+    UPDATE t SET XMLPATH '/a/b' = 'v' WHERE XMLEXISTS('$d/path[pred]' ...)
+    v} *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_statement : string -> (Ast.statement, error) result
+
+(** @raise Invalid_argument on malformed input. *)
+val parse_statement_exn : string -> Ast.statement
+
+(** Parse either language, tagging which grammar matched. *)
+val parse_any :
+  string -> ([ `Xquery of Ast.statement | `Sqlxml of Ast.statement ], string) result

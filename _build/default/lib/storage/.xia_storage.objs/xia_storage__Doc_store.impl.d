@@ -1,0 +1,1 @@
+lib/storage/doc_store.ml: Cost_params Hashtbl List Xia_xml

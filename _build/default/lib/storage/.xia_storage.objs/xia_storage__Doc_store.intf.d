@@ -1,0 +1,1 @@
+lib/storage/doc_store.mli: Xia_xml

@@ -1,0 +1,1 @@
+lib/storage/path_stats.ml: Doc_store Hashtbl Histogram List Random String Xia_xml Xia_xpath

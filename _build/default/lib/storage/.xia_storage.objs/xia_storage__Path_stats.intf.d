@@ -1,0 +1,1 @@
+lib/storage/path_stats.mli: Doc_store Hashtbl Histogram Xia_xpath

@@ -1,0 +1,1 @@
+lib/storage/persist.ml: Array Doc_store Filename Fmt Fun List Printf String Sys Xia_xml

@@ -1,0 +1,36 @@
+(* Cost-model constants shared by the storage engine, the index size model
+   and the query optimizer.
+
+   Units are abstract "cost units" roughly proportional to microseconds on a
+   2000s-era server, in the spirit of the DB2 cost model the paper relies on:
+   sequential I/O is much cheaper per page than random I/O, and CPU work is
+   orders of magnitude cheaper than I/O. *)
+
+let page_size = 4096
+
+(* I/O *)
+let sequential_page_cost = 80.0
+let random_page_cost = 900.0
+
+(* Fraction of random page reads served by the buffer pool. *)
+let buffer_hit_ratio = 0.3
+
+let effective_random_page_cost = random_page_cost *. (1.0 -. buffer_hit_ratio)
+
+(* CPU.  XML navigation is expensive per node (tree traversal, name tests,
+   type checks) — this is precisely why XML index advisors matter: the
+   no-index plan pays it for every node of every document. *)
+let cpu_per_node = 6.0         (* visiting one node during navigation *)
+let cpu_per_predicate = 2.0    (* evaluating one predicate on one node *)
+let cpu_per_index_entry = 0.25 (* scanning one index leaf entry *)
+let cpu_per_result = 1.0       (* constructing one result item *)
+
+(* Index entry layout: key bytes + record id + page overhead share. *)
+let rid_bytes = 12
+let entry_overhead_bytes = 6
+let leaf_fill_factor = 0.70
+let key_prefix_compression = 0.75 (* average fraction of key bytes stored *)
+
+(* B-tree update cost per maintained entry (insert/delete), including the
+   amortized descend and page write. *)
+let index_update_entry_cost = 25.0

@@ -1,0 +1,23 @@
+(** Cost-model constants shared by the storage engine, the index size model
+    and the optimizer.  Abstract cost units; only ratios matter. *)
+
+val page_size : int
+
+val sequential_page_cost : float
+val random_page_cost : float
+val buffer_hit_ratio : float
+
+(** [random_page_cost] discounted by the buffer hit ratio. *)
+val effective_random_page_cost : float
+
+val cpu_per_node : float
+val cpu_per_predicate : float
+val cpu_per_index_entry : float
+val cpu_per_result : float
+
+val rid_bytes : int
+val entry_overhead_bytes : int
+val leaf_fill_factor : float
+val key_prefix_compression : float
+
+val index_update_entry_cost : float

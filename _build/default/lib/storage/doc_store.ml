@@ -1,0 +1,121 @@
+(* Table of XML documents.
+
+   The unit of storage is a document in an XML-typed column, as in DB2
+   pureXML.  Documents get stable integer ids; DML bumps a generation counter
+   so that cached statistics and materialized indexes can detect staleness. *)
+
+type doc_id = int
+
+(* One DML event, tagged with the generation it produced.  Replacement is
+   logged as a delete followed by an insert. *)
+type change = {
+  gen : int;
+  kind : [ `Insert | `Delete ];
+  doc_id : doc_id;
+  doc : Xia_xml.Types.t;
+}
+
+(* Bound on the retained change log; beyond it consumers must fall back to a
+   full rebuild. *)
+let log_limit = 20_000
+
+type t = {
+  name : string;
+  docs : (doc_id, Xia_xml.Types.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable total_bytes : int;
+  mutable total_elements : int;
+  mutable generation : int;
+  mutable log : change list;      (* newest first *)
+  mutable log_floor : int;        (* generations <= floor are not in the log *)
+  mutable log_size : int;
+}
+
+let create name =
+  {
+    name;
+    docs = Hashtbl.create 1024;
+    next_id = 0;
+    total_bytes = 0;
+    total_elements = 0;
+    generation = 0;
+    log = [];
+    log_floor = 0;
+    log_size = 0;
+  }
+
+let record t kind doc_id doc =
+  if t.log_size >= log_limit then begin
+    (* Truncate: drop history, remember that it is incomplete. *)
+    t.log <- [];
+    t.log_size <- 0;
+    t.log_floor <- t.generation
+  end;
+  t.log <- { gen = t.generation; kind; doc_id; doc } :: t.log;
+  t.log_size <- t.log_size + 1
+
+(* Changes with generation > [gen], oldest first; [None] when the log no
+   longer reaches back that far. *)
+let changes_since t gen =
+  if gen < t.log_floor then None
+  else
+    Some (List.rev (List.filter (fun c -> c.gen > gen) t.log))
+
+let name t = t.name
+let generation t = t.generation
+let doc_count t = Hashtbl.length t.docs
+let total_bytes t = t.total_bytes
+let total_elements t = t.total_elements
+
+let pages t =
+  max 1 ((t.total_bytes + Cost_params.page_size - 1) / Cost_params.page_size)
+
+let insert t doc =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.docs id doc;
+  t.total_bytes <- t.total_bytes + Xia_xml.Types.byte_size doc;
+  t.total_elements <- t.total_elements + Xia_xml.Types.count_elements doc;
+  t.generation <- t.generation + 1;
+  record t `Insert id doc;
+  id
+
+let find t id = Hashtbl.find_opt t.docs id
+
+let delete t id =
+  match Hashtbl.find_opt t.docs id with
+  | None -> false
+  | Some doc ->
+      Hashtbl.remove t.docs id;
+      t.total_bytes <- t.total_bytes - Xia_xml.Types.byte_size doc;
+      t.total_elements <- t.total_elements - Xia_xml.Types.count_elements doc;
+      t.generation <- t.generation + 1;
+      record t `Delete id doc;
+      true
+
+let replace t id doc =
+  match Hashtbl.find_opt t.docs id with
+  | None -> false
+  | Some old ->
+      Hashtbl.replace t.docs id doc;
+      t.total_bytes <- t.total_bytes - Xia_xml.Types.byte_size old + Xia_xml.Types.byte_size doc;
+      t.total_elements <-
+        t.total_elements - Xia_xml.Types.count_elements old + Xia_xml.Types.count_elements doc;
+      t.generation <- t.generation + 1;
+      record t `Delete id old;
+      record t `Insert id doc;
+      true
+
+let iter f t = Hashtbl.iter f t.docs
+
+let fold f t init = Hashtbl.fold f t.docs init
+
+let doc_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.docs []
+
+let avg_doc_bytes t =
+  let n = doc_count t in
+  if n = 0 then 0.0 else float_of_int t.total_bytes /. float_of_int n
+
+let avg_doc_elements t =
+  let n = doc_count t in
+  if n = 0 then 0.0 else float_of_int t.total_elements /. float_of_int n

@@ -1,0 +1,170 @@
+(* Per-path data statistics: the moral equivalent of DB2's RUNSTATS output
+   for XML columns.
+
+   For every distinct rooted label path occurring in a table (a "dataguide"
+   entry) we keep node counts, document counts, distinct-value estimates,
+   value sizes and the numeric value range.  Virtual index statistics are
+   derived from these, never from physical indexes. *)
+
+type path_info = {
+  path : string list;
+  path_key : string;
+  mutable node_count : int;
+  mutable doc_count : int;
+  mutable distinct_values : int;
+  mutable total_value_bytes : int;
+  mutable numeric_count : int;
+  mutable distinct_numeric : int;
+  mutable min_num : float;
+  mutable max_num : float;
+  mutable histogram : Histogram.t option;
+}
+
+type t = {
+  table : string;
+  generation : int;
+  doc_count : int;
+  total_elements : int;
+  total_bytes : int;
+  paths : (string, path_info) Hashtbl.t;
+  ordered : path_info list; (* deterministic order: by path key *)
+}
+
+let path_key path = String.concat "/" path
+
+(* Cap on the exact distinct-value sets kept during collection; beyond it we
+   keep counting nodes but freeze the distinct estimate (matching the sampled
+   nature of real RUNSTATS). *)
+let distinct_cap = 200_000
+
+(* Reservoir size for the numeric sample feeding each path's histogram. *)
+let sample_cap = 4096
+
+type collector_entry = {
+  info : path_info;
+  values : (string, unit) Hashtbl.t;
+  numerics : (float, unit) Hashtbl.t;
+  mutable sample : float list;  (* reservoir of numeric values *)
+  mutable sample_size : int;
+  mutable last_doc : int;
+  rng : Random.State.t;
+}
+
+let collect store =
+  let acc : (string, collector_entry) Hashtbl.t = Hashtbl.create 256 in
+  let touch doc_id path value =
+    let key = path_key path in
+    let entry =
+      match Hashtbl.find_opt acc key with
+      | Some e -> e
+      | None ->
+          let info =
+            {
+              path;
+              path_key = key;
+              node_count = 0;
+              doc_count = 0;
+              distinct_values = 0;
+              total_value_bytes = 0;
+              numeric_count = 0;
+              distinct_numeric = 0;
+              min_num = infinity;
+              max_num = neg_infinity;
+              histogram = None;
+            }
+          in
+          let e =
+            {
+              info;
+              values = Hashtbl.create 64;
+              numerics = Hashtbl.create 16;
+              sample = [];
+              sample_size = 0;
+              last_doc = -1;
+              rng = Random.State.make [| Hashtbl.hash key |];
+            }
+          in
+          Hashtbl.add acc key e;
+          e
+    in
+    let info = entry.info in
+    info.node_count <- info.node_count + 1;
+    if entry.last_doc <> doc_id then begin
+      entry.last_doc <- doc_id;
+      info.doc_count <- info.doc_count + 1
+    end;
+    info.total_value_bytes <- info.total_value_bytes + String.length value;
+    if Hashtbl.length entry.values < distinct_cap && not (Hashtbl.mem entry.values value)
+    then Hashtbl.add entry.values value ();
+    (match float_of_string_opt (String.trim value) with
+    | None -> ()
+    | Some v ->
+        info.numeric_count <- info.numeric_count + 1;
+        if info.min_num > v then info.min_num <- v;
+        if info.max_num < v then info.max_num <- v;
+        if Hashtbl.length entry.numerics < distinct_cap && not (Hashtbl.mem entry.numerics v)
+        then Hashtbl.add entry.numerics v ();
+        (* Bernoulli reservoir: keep every value up to the cap, then thin. *)
+        if entry.sample_size < sample_cap then begin
+          entry.sample <- v :: entry.sample;
+          entry.sample_size <- entry.sample_size + 1
+        end
+        else if Random.State.int entry.rng info.node_count < sample_cap then
+          entry.sample <-
+            (match entry.sample with _ :: rest -> v :: rest | [] -> [ v ]))
+  in
+  Doc_store.iter
+    (fun doc_id doc ->
+      Xia_xml.Types.iter_nodes (fun _id path value -> touch doc_id path value) doc)
+    store;
+  let paths = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter
+    (fun key entry ->
+      entry.info.distinct_values <- max 1 (Hashtbl.length entry.values);
+      entry.info.distinct_numeric <- Hashtbl.length entry.numerics;
+      entry.info.histogram <- Histogram.create entry.sample;
+      Hashtbl.add paths key entry.info)
+    acc;
+  let ordered =
+    List.sort
+      (fun a b -> String.compare a.path_key b.path_key)
+      (Hashtbl.fold (fun _ info l -> info :: l) paths [])
+  in
+  {
+    table = Doc_store.name store;
+    generation = Doc_store.generation store;
+    doc_count = Doc_store.doc_count store;
+    total_elements = Doc_store.total_elements store;
+    total_bytes = Doc_store.total_bytes store;
+    paths;
+    ordered;
+  }
+
+let find t path = Hashtbl.find_opt t.paths (path_key path)
+
+let iter f t = List.iter f t.ordered
+
+let fold f t init = List.fold_left (fun acc info -> f acc info) init t.ordered
+
+let path_count t = Hashtbl.length t.paths
+
+let all_paths t = List.map (fun info -> info.path) t.ordered
+
+(* Paths covered by a linear index pattern.  Memoized per pattern key: the
+   stats object is immutable once collected. *)
+let matching_cache : (string * string * int, path_info list) Hashtbl.t = Hashtbl.create 64
+
+let matching t pattern =
+  let k = (t.table, Xia_xpath.Pattern.key pattern, t.generation) in
+  match Hashtbl.find_opt matching_cache k with
+  | Some l -> l
+  | None ->
+      let l =
+        List.filter (fun info -> Xia_xpath.Pattern.accepts pattern info.path) t.ordered
+      in
+      Hashtbl.add matching_cache k l;
+      l
+
+let avg_value_bytes info =
+  if info.node_count = 0 then 0.0
+  else float_of_int info.total_value_bytes /. float_of_int info.node_count

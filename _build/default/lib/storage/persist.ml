@@ -1,0 +1,87 @@
+(* Loading and saving document tables as directories of XML files.
+
+   A table maps to a directory; every regular file ending in ".xml" becomes
+   one document (in lexicographic filename order, so ids are reproducible).
+   This is how external data enters the advisor: point the CLI at a directory
+   of XML documents. *)
+
+type load_report = {
+  loaded : int;
+  failed : (string * string) list;  (* filename, error *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let xml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix (String.lowercase_ascii f) ".xml")
+  |> List.sort String.compare
+
+(* Load every *.xml file of [dir] into [store].  Malformed files are
+   reported, not fatal. *)
+let load_directory store dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Persist.load_directory: %s is not a directory" dir);
+  let loaded = ref 0 in
+  let failed = ref [] in
+  List.iter
+    (fun file ->
+      let path = Filename.concat dir file in
+      match Xia_xml.Parser.parse (read_file path) with
+      | Ok doc ->
+          ignore (Doc_store.insert store doc);
+          incr loaded
+      | Error e -> failed := (file, Fmt.str "%a" Xia_xml.Parser.pp_error e) :: !failed)
+    (xml_files dir);
+  { loaded = !loaded; failed = List.rev !failed }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    Sys.mkdir dir 0o755
+  end
+
+(* Write every document of [store] to [dir] as NNNNNN.xml. *)
+let save_directory store dir =
+  mkdir_p dir;
+  Doc_store.iter
+    (fun id doc ->
+      let path = Filename.concat dir (Printf.sprintf "%06d.xml" id) in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Xia_xml.Printer.to_string doc)))
+    store
+
+(* Workload files: '#' comments and blank lines ignored; each remaining line
+   is "[freq|]statement"; parsing of the statement itself is left to the
+   caller (query front ends live above this library). *)
+let workload_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line '|' with
+           | Some i -> (
+               let prefix = String.trim (String.sub line 0 i) in
+               let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+               match float_of_string_opt prefix with
+               | Some freq -> Some (freq, rest)
+               | None -> Some (1.0, line))
+           | None -> Some (1.0, line))

@@ -1,0 +1,20 @@
+(** Loading and saving tables as directories of XML files, plus workload-file
+    reading. *)
+
+type load_report = {
+  loaded : int;
+  failed : (string * string) list;  (** filename, error message *)
+}
+
+(** Load every [*.xml] file of a directory (lexicographic order) into the
+    store; malformed files are reported in [failed].
+    @raise Invalid_argument when the directory does not exist. *)
+val load_directory : Doc_store.t -> string -> load_report
+
+(** Write every document as [NNNNNN.xml]; creates the directory. *)
+val save_directory : Doc_store.t -> string -> unit
+
+(** Read a workload file: ['#'] comments and blank lines skipped, each line
+    is ["freq|statement"] or just a statement (frequency 1.0).  Statement
+    text is returned verbatim. *)
+val workload_lines : string -> (float * string) list

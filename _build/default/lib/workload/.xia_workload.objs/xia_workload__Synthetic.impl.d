@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Float List Printf Random String Workload Xia_index Xia_query Xia_storage Xia_xpath

@@ -1,0 +1,1 @@
+lib/workload/synthetic.mli: Random Workload Xia_index Xia_query

@@ -1,0 +1,1 @@
+lib/workload/tpox.ml: Array List Printf Random String Workload Xia_index Xia_query Xia_storage Xia_xml

@@ -1,0 +1,1 @@
+lib/workload/tpox.mli: Random Workload Xia_index Xia_xml

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Fmt List Printf String Xia_query Xia_storage

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Array List Printf Random Workload Xia_index Xia_query Xia_storage Xia_xml

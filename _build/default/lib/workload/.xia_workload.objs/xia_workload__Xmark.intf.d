@@ -1,0 +1,1 @@
+lib/workload/xmark.mli: Random Workload Xia_index Xia_xml

@@ -1,0 +1,109 @@
+(* Synthetic workloads of random path queries, as used in the paper's
+   Section VII-C: "we generated synthetic workloads consisting of random
+   XPath path expressions that occur in the data".
+
+   Each query picks a random dataguide path of a table and filters on it —
+   with a numeric comparison when the path's values are numeric, a string
+   equality otherwise.  A fraction of the queries degrade one inner step to a
+   wildcard or a descendant axis, which is what gives the generalizer pairs
+   with common sub-expressions. *)
+
+module Path_stats = Xia_storage.Path_stats
+module Xp = Xia_xpath.Ast
+
+(* Relative steps (below the document root element) of a dataguide path. *)
+let rel_components (info : Path_stats.path_info) =
+  match info.path with
+  | [] | [ _ ] -> None
+  | _root :: rest -> Some rest
+
+let step_of_component c =
+  if String.length c > 0 && c.[0] = '@' then
+    Xia_xpath.Ast.
+      { axis = Child; test = Attr (Name (String.sub c 1 (String.length c - 1))); predicates = [] }
+  else Xia_xpath.Ast.{ axis = Child; test = Elem (Name c); predicates = [] }
+
+(* Randomly blur one middle step: name test to wildcard, or child axis to
+   descendant. *)
+let blur rng (steps : Xp.path) =
+  let n = List.length steps in
+  if n < 2 then steps
+  else
+    let target = Random.State.int rng (n - 1) in
+    List.mapi
+      (fun i (s : Xp.step) ->
+        if i <> target then s
+        else if Random.State.bool rng then
+          match s.test with
+          | Xp.Elem _ -> { s with test = Xp.Elem Xp.Wildcard }
+          | Xp.Attr _ -> { s with test = Xp.Attr Xp.Wildcard }
+        else { s with axis = Xp.Descendant })
+      steps
+
+let is_numeric_path (info : Path_stats.path_info) =
+  info.node_count > 0
+  && float_of_int info.numeric_count /. float_of_int info.node_count > 0.9
+
+let predicate_for rng (info : Path_stats.path_info) =
+  if is_numeric_path info && info.min_num <= info.max_num then begin
+    let x = info.min_num +. Random.State.float rng (Float.max 1e-9 (info.max_num -. info.min_num)) in
+    let cmp = if Random.State.bool rng then Xp.Gt else Xp.Lt in
+    (cmp, Xp.Number_lit (Float.round (x *. 100.0) /. 100.0))
+  end
+  else (Xp.Eq, Xp.String_lit (Printf.sprintf "VAL%04d" (Random.State.int rng 10_000)))
+
+(* Build one random query over a table: bind the root element and filter on a
+   (possibly blurred) random leaf-ish path. *)
+let random_query rng catalog table =
+  let stats = Xia_index.Catalog.stats catalog table in
+  let eligible =
+    List.filter
+      (fun (info : Path_stats.path_info) ->
+        match rel_components info with
+        | Some (_ :: _) -> true
+        | Some [] | None -> false)
+      stats.Path_stats.ordered
+  in
+  match eligible with
+  | [] -> None
+  | _ ->
+      let info = List.nth eligible (Random.State.int rng (List.length eligible)) in
+      let root =
+        match info.path with r :: _ -> r | [] -> assert false
+      in
+      let rel =
+        match rel_components info with Some r -> r | None -> assert false
+      in
+      let rel_steps = blur rng (List.map step_of_component rel) in
+      let cmp, lit = predicate_for rng info in
+      let source =
+        {
+          Xia_query.Ast.table;
+          column = "XMLDOC";
+          path = [ Xia_xpath.Ast.{ axis = Child; test = Elem (Name root); predicates = [] } ];
+        }
+      in
+      let flwor =
+        {
+          Xia_query.Ast.bindings = [ ("x", source) ];
+          where = [ [ { Xia_query.Ast.var = "x"; predicate = Xp.Compare (rel_steps, cmp, lit) } ] ];
+          return_ = [ Xia_query.Ast.Ret_var "x" ];
+        }
+      in
+      Some (Xia_query.Ast.Select flwor)
+
+(* [n] random queries spread round-robin over the given tables. *)
+let workload ?(seed = 7) ?(label_prefix = "R") catalog tables n =
+  let rng = Random.State.make [| seed |] in
+  let tables = Array.of_list tables in
+  let rec build i acc =
+    if i >= n then List.rev acc
+    else
+      let table = tables.(i mod Array.length tables) in
+      match random_query rng catalog table with
+      | None -> build (i + 1) acc
+      | Some stmt ->
+          let it = Workload.item (Printf.sprintf "%s%d" label_prefix (i + 1)) stmt in
+          build (i + 1) (it :: acc)
+  in
+  build 0 []

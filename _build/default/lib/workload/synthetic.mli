@@ -1,0 +1,17 @@
+(** Synthetic workloads of random path queries occurring in the data
+    (Section VII-C of the paper). *)
+
+(** One random single-predicate query over a table; [None] when the table has
+    no usable paths. *)
+val random_query :
+  Random.State.t -> Xia_index.Catalog.t -> string -> Xia_query.Ast.statement option
+
+(** [workload catalog tables n]: [n] random queries spread round-robin over
+    [tables].  Deterministic for a fixed [seed]. *)
+val workload :
+  ?seed:int ->
+  ?label_prefix:string ->
+  Xia_index.Catalog.t ->
+  string list ->
+  int ->
+  Workload.t

@@ -1,0 +1,35 @@
+(** Workloads: statements with occurrence frequencies. *)
+
+type item = {
+  label : string;
+  statement : Xia_query.Ast.statement;
+  freq : float;
+}
+
+type t = item list
+
+val item : ?freq:float -> string -> Xia_query.Ast.statement -> item
+
+val of_statements : Xia_query.Ast.statement list -> t
+
+(** Load a workload file (['#'] comments, blank lines, ["freq|statement"]
+    lines; statements may be mini-XQuery or SQL/XML).
+    @raise Invalid_argument on parse errors. *)
+val of_file : string -> t
+
+(** Parse one statement per string. @raise Invalid_argument on parse errors. *)
+val of_strings : string list -> t
+
+val queries : t -> t
+val dml : t -> t
+val size : t -> int
+val total_frequency : t -> float
+
+(** First [n] items (training prefix). *)
+val prefix : int -> t -> t
+
+val labels : t -> string list
+val find_opt : t -> string -> item option
+
+val pp_item : Format.formatter -> item -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Fmt List Printf String Types

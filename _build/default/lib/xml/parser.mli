@@ -1,0 +1,11 @@
+(** Non-validating XML parser: elements, attributes, text, entities, CDATA,
+    comments, processing instructions and DOCTYPE (skipped). *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Types.t, error) result
+
+(** @raise Invalid_argument on malformed input. *)
+val parse_exn : string -> Types.t

@@ -1,0 +1,10 @@
+(** XML serialization. *)
+
+(** Compact single-line serialization; inverse of {!Parser.parse} up to
+    whitespace normalization. *)
+val to_string : Types.t -> string
+
+(** Indented, human-readable serialization. *)
+val to_pretty_string : Types.t -> string
+
+val pp : Format.formatter -> Types.t -> unit

@@ -1,0 +1,60 @@
+(** XML tree model used throughout the advisor.
+
+    Documents are ordinary element trees.  Namespaces are not interpreted: a
+    prefixed tag is a flat label.  Mixed content is supported; the value of an
+    element (as seen by value indexes) is the concatenation of its direct text
+    children. *)
+
+type t =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+}
+
+(** Identity of a node within a single document. [pre] is the preorder rank of
+    the owning element (root = 0); [attr = Some i] designates the i-th
+    attribute of that element. *)
+type node_id = {
+  pre : int;
+  attr : int option;
+}
+
+val compare_node_id : node_id -> node_id -> int
+val equal_node_id : node_id -> node_id -> bool
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+(** [leaf tag v] is [<tag>v</tag>]. *)
+val leaf : ?attrs:(string * string) list -> string -> string -> t
+
+val is_element : t -> bool
+val tag_of : t -> string option
+
+(** Concatenated direct text children of an element. *)
+val direct_text : element -> string
+
+(** Value of a node: [direct_text] for elements, the text for text nodes. *)
+val node_value : t -> string
+
+val count_elements : t -> int
+
+(** Elements + attributes + text nodes. *)
+val count_nodes : t -> int
+
+(** Approximate serialized size in bytes. *)
+val byte_size : t -> int
+
+(** [iter_nodes f doc] calls [f id label_path value] for every element and
+    every attribute of [doc] in document order.  Attribute labels appear as
+    ["@name"] path components. *)
+val iter_nodes : (node_id -> string list -> string -> unit) -> t -> unit
+
+(** Element with the given preorder rank. *)
+val find_by_pre : t -> int -> element option
+
+val equal : t -> t -> bool

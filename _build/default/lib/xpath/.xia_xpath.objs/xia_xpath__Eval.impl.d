@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Hashtbl List String Xia_xml

@@ -1,0 +1,1 @@
+lib/xpath/nfa.ml: Array Ast Hashtbl List Queue String

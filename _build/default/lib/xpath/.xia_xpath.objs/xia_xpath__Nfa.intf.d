@@ -1,0 +1,1 @@
+lib/xpath/nfa.mli: Ast

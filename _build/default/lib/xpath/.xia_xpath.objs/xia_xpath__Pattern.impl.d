@@ -1,0 +1,1 @@
+lib/xpath/pattern.ml: Ast Fmt Hashtbl List Nfa Parser Printer String

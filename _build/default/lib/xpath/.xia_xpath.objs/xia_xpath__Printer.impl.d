@@ -1,0 +1,1 @@
+lib/xpath/printer.ml: Ast Buffer Float Fmt List Printf

@@ -1,0 +1,1 @@
+lib/xpath/printer.mli: Ast Format

@@ -1,0 +1,110 @@
+(* Abstract syntax for the XPath subset used by the advisor.
+
+   Paths are sequences of steps along the child or descendant axis, with name
+   tests that are labels, wildcards or attributes.  Steps may carry predicates:
+   existence of a relative path, or a comparison between a relative path (or
+   the step itself, when the relative path is empty) and a literal. *)
+
+type axis =
+  | Child        (* / *)
+  | Descendant   (* // *)
+
+type name_test =
+  | Name of string
+  | Wildcard
+
+type node_test =
+  | Elem of name_test
+  | Attr of name_test
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type literal =
+  | String_lit of string
+  | Number_lit of float
+
+type step = {
+  axis : axis;
+  test : node_test;
+  predicates : predicate list;
+}
+
+and predicate =
+  | Exists of step list                       (* [a/b] *)
+  | Compare of step list * cmp * literal      (* [a/b > 4.5]; [] path means self: [. > 4.5] *)
+
+type path = step list
+
+let step ?(predicates = []) axis test = { axis; test; predicates }
+
+let equal_axis a b =
+  match a, b with
+  | Child, Child | Descendant, Descendant -> true
+  | Child, Descendant | Descendant, Child -> false
+
+let equal_name_test a b =
+  match a, b with
+  | Name x, Name y -> String.equal x y
+  | Wildcard, Wildcard -> true
+  | Name _, Wildcard | Wildcard, Name _ -> false
+
+let equal_node_test a b =
+  match a, b with
+  | Elem x, Elem y | Attr x, Attr y -> equal_name_test x y
+  | Elem _, Attr _ | Attr _, Elem _ -> false
+
+let equal_literal a b =
+  match a, b with
+  | String_lit x, String_lit y -> String.equal x y
+  | Number_lit x, Number_lit y -> Float.equal x y
+  | String_lit _, Number_lit _ | Number_lit _, String_lit _ -> false
+
+let rec equal_step a b =
+  equal_axis a.axis b.axis
+  && equal_node_test a.test b.test
+  && List.length a.predicates = List.length b.predicates
+  && List.for_all2 equal_predicate a.predicates b.predicates
+
+and equal_predicate a b =
+  match a, b with
+  | Exists p, Exists q -> equal_path p q
+  | Compare (p, c, l), Compare (q, c', l') ->
+      equal_path p q && c = c' && equal_literal l l'
+  | Exists _, Compare _ | Compare _, Exists _ -> false
+
+and equal_path a b =
+  List.length a = List.length b && List.for_all2 equal_step a b
+
+(* Strip all predicates, keeping only the structural skeleton of the path. *)
+let strip_predicates path = List.map (fun s -> { s with predicates = [] }) path
+
+let structural = strip_predicates
+
+let has_predicates path = List.exists (fun s -> s.predicates <> []) path
+
+let flip_cmp = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let eval_cmp_int c n =
+  match c with
+  | Eq -> n = 0
+  | Ne -> n <> 0
+  | Lt -> n < 0
+  | Le -> n <= 0
+  | Gt -> n > 0
+  | Ge -> n >= 0
+
+(* Comparison semantics: a numeric literal coerces the node value to a number
+   (no match if the coercion fails); a string literal compares lexically. *)
+let literal_matches value cmp literal =
+  match literal with
+  | Number_lit x -> (
+      match float_of_string_opt (String.trim value) with
+      | None -> false
+      | Some v -> eval_cmp_int cmp (Float.compare v x))
+  | String_lit s -> eval_cmp_int cmp (String.compare value s)

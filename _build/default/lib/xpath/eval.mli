@@ -1,0 +1,38 @@
+(** XPath evaluation over XML documents. *)
+
+(** Annotated element: preorder rank, tag, attributes, direct-text value and
+    element children.  Built once per document with {!annotate}. *)
+type anode = {
+  pre : int;
+  tag : string;
+  attrs : (string * string) array;
+  value : string;
+  children : anode list;
+}
+
+(** @raise Invalid_argument if the root is a text node. *)
+val annotate : Xia_xml.Types.t -> anode
+
+type match_ = {
+  id : Xia_xml.Types.node_id;
+  value : string;
+}
+
+(** Evaluate an absolute path (with predicates) against an annotated document.
+    Results are in document order, duplicate-free. *)
+val eval : anode -> Ast.path -> match_ list
+
+(** [eval] composed with {!annotate}. *)
+val eval_doc : Xia_xml.Types.t -> Ast.path -> match_ list
+
+(** Element nodes reached by an absolute path; attribute matches are dropped
+    (an element binding is required to navigate further). *)
+val eval_elements : anode -> Ast.path -> anode list
+
+(** Does the predicate hold with the element as context node? *)
+val predicate_holds_on : anode -> Ast.predicate -> bool
+
+(** Evaluate a relative path from a given element context. *)
+val eval_relative : anode -> Ast.path -> match_ list
+
+val exists_doc : Xia_xml.Types.t -> Ast.path -> bool

@@ -1,0 +1,17 @@
+(** Finite automata over rooted label paths, for deciding exactly whether one
+    linear XPath pattern matches a concrete path or covers another pattern. *)
+
+type step = Ast.axis * Ast.node_test
+
+type t
+
+(** Compile a list of pattern steps. Attribute tests match labels spelled
+    ["@name"].  @raise Invalid_argument beyond 60 steps. *)
+val of_steps : step list -> t
+
+(** Does the pattern match this rooted label path? *)
+val accepts : t -> string list -> bool
+
+(** [contained sub sup]: is every label path matched by [sub] also matched by
+    [sup]?  Exact (not heuristic) containment. *)
+val contained : t -> t -> bool

@@ -1,0 +1,137 @@
+(* Linear index patterns.
+
+   An index pattern is a predicate-free linear path, e.g. /Security/Yield,
+   /Security//*, //Yield, /Order/@ID.  These are the objects the advisor
+   enumerates, generalizes and recommends.  Coverage between patterns (and
+   matching against concrete data paths) is decided exactly via Nfa. *)
+
+type step = {
+  axis : Ast.axis;
+  test : Ast.node_test;
+}
+
+type t = step list
+
+let of_path (path : Ast.path) : t =
+  List.map (fun (s : Ast.step) -> { axis = s.axis; test = s.test }) path
+
+let to_path (p : t) : Ast.path =
+  List.map (fun s -> { Ast.axis = s.axis; test = s.test; predicates = [] }) p
+
+let to_string p = Printer.path_to_string (to_path p)
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+let of_string_result s =
+  match Parser.parse s with
+  | Ok path ->
+      if Ast.has_predicates path then
+        Error { Parser.position = 0; message = "index patterns cannot contain predicates" }
+      else Ok (of_path path)
+  | Error e -> Error e
+
+let of_string s =
+  match of_string_result s with
+  | Ok p -> p
+  | Error e -> invalid_arg (Fmt.str "Pattern.of_string %S: %a" s Parser.pp_error e)
+
+let equal_step a b = Ast.equal_axis a.axis b.axis && Ast.equal_node_test a.test b.test
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_step a b
+
+let compare a b = String.compare (to_string a) (to_string b)
+
+(* Canonical key for hashing; patterns print unambiguously. *)
+let key = to_string
+
+let length = List.length
+
+let universal = [ { axis = Ast.Descendant; test = Ast.Elem Ast.Wildcard } ]
+
+let is_universal p = equal p universal
+
+let universal_attr = [ { axis = Ast.Descendant; test = Ast.Attr Ast.Wildcard } ]
+
+let last_step p =
+  match List.rev p with
+  | [] -> invalid_arg "Pattern.last_step: empty pattern"
+  | s :: _ -> s
+
+let targets_attribute p =
+  match (last_step p).test with
+  | Ast.Attr _ -> true
+  | Ast.Elem _ -> false
+
+let has_wildcard p =
+  List.exists
+    (fun s ->
+      match s.test with
+      | Ast.Elem Ast.Wildcard | Ast.Attr Ast.Wildcard -> true
+      | Ast.Elem (Ast.Name _) | Ast.Attr (Ast.Name _) -> false)
+    p
+
+let has_descendant p = List.exists (fun s -> s.axis = Ast.Descendant) p
+
+(* A pattern is "general-looking" when it could match paths other than one
+   fixed label sequence. *)
+let is_general_shape p = has_wildcard p || has_descendant p
+
+let nfa_cache : (string, Nfa.t) Hashtbl.t = Hashtbl.create 256
+
+let nfa_of p =
+  let k = key p in
+  match Hashtbl.find_opt nfa_cache k with
+  | Some n -> n
+  | None ->
+      let n = Nfa.of_steps (List.map (fun s -> (s.axis, s.test)) p) in
+      Hashtbl.add nfa_cache k n;
+      n
+
+let accepts p label_path = Nfa.accepts (nfa_of p) label_path
+
+let covers_cache : (string * string, bool) Hashtbl.t = Hashtbl.create 1024
+
+(* [covers ~general ~specific]: every node reachable by [specific] is also
+   reachable by [general] (in any document). *)
+let covers ~general ~specific =
+  let k = (key general, key specific) in
+  match Hashtbl.find_opt covers_cache k with
+  | Some b -> b
+  | None ->
+      let b = Nfa.contained (nfa_of specific) (nfa_of general) in
+      Hashtbl.add covers_cache k b;
+      b
+
+let equivalent a b = covers ~general:a ~specific:b && covers ~general:b ~specific:a
+
+(* The paper's rewrite rule 0: any middle step that is a child- or
+   descendant-axis wildcard is dropped and the following step's axis becomes
+   descendant.  /a/*/b -> /a//b; /a/*/*/b -> /a//b.  The last step is kept
+   as-is.  The rewrite can only generalize the language. *)
+let rewrite_middle_wildcards (p : t) : t =
+  let rec loop = function
+    | [] -> []
+    | [ last ] -> [ last ]
+    | { test = Ast.Elem Ast.Wildcard; _ } :: (_ :: _ as rest) -> (
+        match loop rest with
+        | next :: tail -> { next with axis = Ast.Descendant } :: tail
+        | [] -> assert false)
+    | s :: rest -> s :: loop rest
+  in
+  (* Collapse runs of descendant wildcards too: //*//b is just //b when the
+     wildcard is in the middle. *)
+  loop p
+
+(* Rough specificity measure used to order candidates deterministically:
+   named child steps are most specific. *)
+let specificity p =
+  List.fold_left
+    (fun acc s ->
+      let axis_w = match s.axis with Ast.Child -> 2 | Ast.Descendant -> 0 in
+      let test_w =
+        match s.test with
+        | Ast.Elem (Ast.Name _) | Ast.Attr (Ast.Name _) -> 3
+        | Ast.Elem Ast.Wildcard | Ast.Attr Ast.Wildcard -> 0
+      in
+      acc + axis_w + test_w)
+    0 p

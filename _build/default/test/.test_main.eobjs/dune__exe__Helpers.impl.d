@@ -1,0 +1,1 @@
+test/helpers.ml: List Option QCheck QCheck_alcotest String Xia_index Xia_query Xia_workload Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Helpers Lazy List Printf String Sys Xia_advisor Xia_workload Xia_xml Xia_xpath

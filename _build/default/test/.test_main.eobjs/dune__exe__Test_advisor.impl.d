@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Helpers Lazy List Option Printf String Xia_advisor Xia_index Xia_optimizer Xia_workload Xia_xpath

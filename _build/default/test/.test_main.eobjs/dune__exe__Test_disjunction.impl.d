@@ -1,0 +1,1 @@
+test/test_disjunction.ml: Alcotest Helpers List Printf Result Xia_advisor Xia_index Xia_optimizer Xia_query Xia_storage Xia_workload Xia_xpath

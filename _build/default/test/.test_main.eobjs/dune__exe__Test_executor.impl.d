@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Helpers List Printf QCheck Xia_index Xia_optimizer Xia_storage Xia_workload Xia_xml

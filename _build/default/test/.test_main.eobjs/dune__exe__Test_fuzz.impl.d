@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Char Helpers Printf QCheck String Xia_query Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_generalize.ml: Alcotest Helpers List Option QCheck String Xia_advisor Xia_index Xia_xpath

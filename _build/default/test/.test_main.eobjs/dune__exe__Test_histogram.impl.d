@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Float Fun Helpers List Option Printf Xia_index Xia_optimizer Xia_query Xia_storage Xia_xpath

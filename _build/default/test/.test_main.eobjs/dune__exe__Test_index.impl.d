@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Helpers List Option Printf QCheck Random Xia_index Xia_storage

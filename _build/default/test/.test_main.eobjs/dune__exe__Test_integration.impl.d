@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Hashtbl Helpers Lazy List Printf QCheck Random String Xia_advisor Xia_index Xia_optimizer Xia_query Xia_workload Xia_xpath

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Float Helpers List Printf Xia_index Xia_optimizer Xia_query Xia_storage Xia_xpath

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Helpers List QCheck Result Xia_xml Xia_xpath

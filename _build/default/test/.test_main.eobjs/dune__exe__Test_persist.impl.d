@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Filename Fmt Helpers Lazy List Random String Sys Xia_advisor Xia_index Xia_query Xia_storage Xia_workload Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Helpers List Result Xia_index Xia_query Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_sqlxml.ml: Alcotest Helpers Lazy List Result Xia_index Xia_optimizer Xia_query Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Helpers List QCheck Xia_storage Xia_xml

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Helpers Lazy List Option Random String Xia_advisor Xia_index Xia_query Xia_storage Xia_workload Xia_xml Xia_xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Helpers List QCheck String Xia_xml

@@ -1,0 +1,94 @@
+(* Shared test fixtures and generators. *)
+
+module T = Xia_xml.Types
+
+let xml s = Xia_xml.Parser.parse_exn s
+let xpath s = Xia_xpath.Parser.parse_exn s
+let pattern s = Xia_xpath.Pattern.of_string s
+let statement s = Xia_query.Parser.parse_statement_exn s
+
+(* The paper's running-example document shape. *)
+let security_doc =
+  xml
+    {|<Security><Symbol>BCIIPRC</Symbol><Name>BCII Preferred C</Name>
+       <SecurityType>Bond</SecurityType>
+       <SecInfo><BondInformation><Sector>Energy</Sector><Industry>OilGas</Industry></BondInformation></SecInfo>
+       <Price><LastTrade>42.17</LastTrade></Price>
+       <Yield>4.7</Yield></Security>|}
+
+(* A tiny deterministic TPoX catalog shared by the expensive suites (built
+   once, queries must not mutate it). *)
+let shared_catalog =
+  lazy
+    (let catalog = Xia_index.Catalog.create () in
+     Xia_workload.Tpox.load ~scale:Xia_workload.Tpox.tiny_scale ~seed:7 catalog;
+     catalog)
+
+let fresh_tiny_catalog ?(seed = 7) () =
+  let catalog = Xia_index.Catalog.create () in
+  Xia_workload.Tpox.load ~scale:Xia_workload.Tpox.tiny_scale ~seed catalog;
+  catalog
+
+(* ---------- QCheck generators ---------- *)
+
+let tag_gen = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d"; "item"; "name"; "Price" ]
+
+let text_gen =
+  QCheck.Gen.oneofl [ "x"; "Energy"; "4.5"; "hello world"; "42"; "-3.25"; "" ]
+
+let attr_gen =
+  QCheck.Gen.(
+    map2 (fun k v -> (k, v)) (oneofl [ "id"; "Acct"; "Sym" ]) text_gen)
+
+(* Random XML trees of bounded depth/width. *)
+let xml_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 30) (fix (fun self n ->
+        if n <= 1 then map (fun s -> T.text s) text_gen
+        else
+          map3
+            (fun tag attrs children -> T.element ~attrs tag children)
+            tag_gen
+            (list_size (int_range 0 2) attr_gen)
+            (list_size (int_range 0 3) (self (n / 2))))))
+
+(* Documents must be rooted at an element. *)
+let doc_gen =
+  QCheck.Gen.(
+    map3
+      (fun tag attrs children -> T.element ~attrs tag children)
+      tag_gen
+      (list_size (int_range 0 2) attr_gen)
+      (list_size (int_range 0 4) (xml_gen)))
+
+let doc_arbitrary = QCheck.make ~print:Xia_xml.Printer.to_string doc_gen
+
+(* Random linear patterns. *)
+let pattern_gen =
+  QCheck.Gen.(
+    let step_gen =
+      map2
+        (fun axis test -> { Xia_xpath.Pattern.axis; test })
+        (oneofl [ Xia_xpath.Ast.Child; Xia_xpath.Ast.Descendant ])
+        (frequency
+           [
+             (4, map (fun t -> Xia_xpath.Ast.Elem (Xia_xpath.Ast.Name t)) tag_gen);
+             (1, return (Xia_xpath.Ast.Elem Xia_xpath.Ast.Wildcard));
+             (1, map (fun t -> Xia_xpath.Ast.Attr (Xia_xpath.Ast.Name t)) (oneofl [ "id"; "Sym" ]));
+           ])
+    in
+    list_size (int_range 1 5) step_gen)
+
+let pattern_arbitrary = QCheck.make ~print:Xia_xpath.Pattern.to_string pattern_gen
+
+(* Random rooted label paths. *)
+let label_path_gen =
+  QCheck.Gen.(
+    let* elems = list_size (int_range 1 5) tag_gen in
+    let* attr = frequency [ (3, return None); (1, map Option.some (oneofl [ "@id"; "@Sym" ])) ] in
+    return (match attr with None -> elems | Some a -> elems @ [ a ]))
+
+let label_path_arbitrary =
+  QCheck.make ~print:(String.concat "/") label_path_gen
+
+let qsuite name cells = (name, List.map QCheck_alcotest.to_alcotest cells)

@@ -1,0 +1,316 @@
+(* Tests for enumeration, benefit evaluation, search algorithms and the
+   end-to-end advisor. *)
+
+module A = Xia_advisor.Advisor
+module B = Xia_advisor.Benefit
+module C = Xia_advisor.Candidate
+module S = Xia_advisor.Search
+module En = Xia_advisor.Enumeration
+module Cat = Xia_index.Catalog
+module D = Xia_index.Index_def
+module W = Xia_workload.Workload
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* Deterministic fixture shared by the suite: tiny TPoX + its 11 queries.
+   The catalog is only read (virtual indexes are set and cleared). *)
+let fixture =
+  lazy
+    (let catalog = Lazy.force Helpers.shared_catalog in
+     let wl = Xia_workload.Tpox.workload () in
+     let session = A.create_session catalog wl in
+     session)
+
+let enumeration_tests =
+  [
+    tc "basic candidates cover all queries" (fun () ->
+        let s = Lazy.force fixture in
+        let basics = C.basics s.A.candidates in
+        Alcotest.(check bool) "many" true (List.length basics >= 10);
+        (* every query is in some candidate's affected set *)
+        let covered =
+          List.fold_left
+            (fun acc c -> C.Int_set.union acc c.C.affected)
+            C.Int_set.empty basics
+        in
+        Alcotest.(check int) "all stmts" (W.size s.A.workload)
+          (C.Int_set.cardinal covered));
+    tc "generalization adds candidates" (fun () ->
+        let s = Lazy.force fixture in
+        Alcotest.(check bool) "generals exist" true
+          (List.length (C.generals s.A.candidates) > 0));
+    tc "shared pattern has two affected statements" (fun () ->
+        let s = Lazy.force fixture in
+        (* /Security/Symbol is used by Q1 and Q3 *)
+        let d =
+          D.make ~table:"SECURITY" ~pattern:(Helpers.pattern "/Security/Symbol")
+            ~dtype:D.Dstring ()
+        in
+        match C.find_by_key s.A.candidates (D.logical_key d) with
+        | Some c -> Alcotest.(check int) "two" 2 (C.Int_set.cardinal c.C.affected)
+        | None -> Alcotest.fail "symbol candidate missing");
+  ]
+
+let benefit_tests =
+  [
+    tc "empty configuration has zero benefit" (fun () ->
+        let s = Lazy.force fixture in
+        Alcotest.(check (float 0.0001)) "zero" 0.0 (B.benefit s.A.evaluator []));
+    tc "benefit of a useful index is positive" (fun () ->
+        let s = Lazy.force fixture in
+        let d =
+          D.make ~table:"SECURITY" ~pattern:(Helpers.pattern "/Security/Symbol")
+            ~dtype:D.Dstring ()
+        in
+        let c = Option.get (C.find_by_key s.A.candidates (D.logical_key d)) in
+        Alcotest.(check bool) "positive" true (B.individual_benefit s.A.evaluator c > 0.0));
+    tc "benefit never exceeds base cost" (fun () ->
+        let s = Lazy.force fixture in
+        let all = C.to_list s.A.candidates in
+        Alcotest.(check bool) "bounded" true
+          (B.benefit s.A.evaluator all <= B.base_workload_cost s.A.evaluator));
+    tc "sub-configurations split disjoint affected sets" (fun () ->
+        let s = Lazy.force fixture in
+        let by_pat p table =
+          let d = D.make ~table ~pattern:(Helpers.pattern p) ~dtype:D.Dstring () in
+          Option.get (C.find_by_key s.A.candidates (D.logical_key d))
+        in
+        let sec = by_pat "/Security/Symbol" "SECURITY" in
+        let cust = by_pat "/Customer/Nationality" "CUSTACC" in
+        Alcotest.(check int) "two groups" 2
+          (List.length (B.sub_configurations [ sec; cust ])));
+    tc "sub-configurations merge overlapping affected sets" (fun () ->
+        let s = Lazy.force fixture in
+        let by p dt =
+          let d = D.make ~table:"SECURITY" ~pattern:(Helpers.pattern p) ~dtype:dt () in
+          Option.get (C.find_by_key s.A.candidates (D.logical_key d))
+        in
+        (* Yield and Sector both come from Q2 -> same sub-configuration. *)
+        let yield = by "/Security/Yield" D.Ddouble in
+        let sector = by "/Security/SecInfo/*/Sector" D.Dstring in
+        Alcotest.(check int) "one group" 1
+          (List.length (B.sub_configurations [ yield; sector ])));
+    tc "cache avoids repeat optimizer calls" (fun () ->
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let ev = B.create catalog (Xia_workload.Tpox.workload ()) in
+        let set = En.candidates catalog (Xia_workload.Tpox.workload ()) in
+        let c = List.hd (C.basics set) in
+        let _ = B.benefit ev [ c ] in
+        let calls = ev.B.evaluations in
+        let _ = B.benefit ev [ c ] in
+        Alcotest.(check int) "no new calls" calls ev.B.evaluations;
+        Alcotest.(check bool) "hit recorded" true (ev.B.cache_hits > 0));
+    tc "maintenance charge positive with DML" (fun () ->
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let wl = Xia_workload.Tpox.workload_with_updates ~update_freq:50.0 () in
+        let ev = B.create catalog wl in
+        let set = En.candidates catalog wl in
+        let order_idx =
+          List.filter
+            (fun c -> String.equal c.C.def.D.table Xia_workload.Tpox.order_table)
+            (C.basics set)
+        in
+        Alcotest.(check bool) "nonempty" true (order_idx <> []);
+        Alcotest.(check bool) "charged" true (B.maintenance_charge ev order_idx > 0.0));
+    tc "heavy insert traffic erodes an index's benefit" (fun () ->
+        (* Inserts gain nothing from indexes but pay maintenance, so raising
+           their frequency strictly lowers the benefit. *)
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let insert =
+          Xia_workload.Workload.item "INS"
+            (Helpers.statement
+               {|insert into XORDER <FIXML><Order ID="X1" Acct="A1" Side="1"><OrdQty Qty="10"/></Order></FIXML>|})
+        in
+        let pick freq =
+          let wl =
+            Xia_workload.Tpox.workload ()
+            @ [ { insert with Xia_workload.Workload.freq } ]
+          in
+          let ev = B.create catalog wl in
+          let set = En.candidates catalog wl in
+          let d =
+            D.make ~table:Xia_workload.Tpox.order_table
+              ~pattern:(Helpers.pattern "/FIXML/Order/@ID") ~dtype:D.Dstring ()
+          in
+          let c = Option.get (C.find_by_key set (D.logical_key d)) in
+          B.individual_benefit ev c
+        in
+        let light = pick 1.0 and heavy = pick 100_000.0 in
+        Alcotest.(check bool) "light positive" true (light > 0.0);
+        Alcotest.(check bool) "heavy lower" true (heavy < light));
+  ]
+
+let budget_of session frac =
+  let all = A.session_advise session ~budget:max_int A.All_index in
+  int_of_float (frac *. float_of_int all.A.outcome.S.size)
+
+let search_tests =
+  [
+    tc "every algorithm respects the budget" (fun () ->
+        let s = Lazy.force fixture in
+        let budget = budget_of s 0.5 in
+        List.iter
+          (fun alg ->
+            let r = A.session_advise s ~budget alg in
+            Alcotest.(check bool)
+              (A.algorithm_name alg ^ " fits")
+              true
+              (r.A.outcome.S.size <= budget))
+          A.all_algorithms);
+    tc "zero budget recommends nothing" (fun () ->
+        let s = Lazy.force fixture in
+        List.iter
+          (fun alg ->
+            let r = A.session_advise s ~budget:0 alg in
+            Alcotest.(check int) (A.algorithm_name alg) 0 (List.length r.A.outcome.S.config))
+          A.all_algorithms);
+    tc "speedup grows with budget" (fun () ->
+        let s = Lazy.force fixture in
+        let sp frac =
+          (A.session_advise s ~budget:(budget_of s frac) A.Greedy_heuristics).A.est_speedup
+        in
+        let s25 = sp 0.25 and s100 = sp 1.0 in
+        Alcotest.(check bool) "monotone-ish" true (s100 >= s25));
+    tc "all-index speedup at least matches heuristics at full budget" (fun () ->
+        let s = Lazy.force fixture in
+        let all = A.session_advise s ~budget:max_int A.All_index in
+        let h = A.session_advise s ~budget:all.A.outcome.S.size A.Greedy_heuristics in
+        Alcotest.(check bool) "bound" true (all.A.est_speedup >= h.A.est_speedup -. 0.01));
+    tc "heuristics avoids redundant generals" (fun () ->
+        let s = Lazy.force fixture in
+        let r = A.session_advise s ~budget:(budget_of s 2.0) A.Greedy_heuristics in
+        (* with generous budget heuristics should stay essentially specific *)
+        Alcotest.(check bool) "few generals" true (r.A.general_count <= 1));
+    tc "top-down recommends generals when budget allows" (fun () ->
+        let s = Lazy.force fixture in
+        let r2 = A.session_advise s ~budget:(budget_of s 2.0) A.Top_down_lite in
+        let r05 = A.session_advise s ~budget:(budget_of s 0.5) A.Top_down_lite in
+        Alcotest.(check bool) "more generals with more budget" true
+          (r2.A.general_count >= r05.A.general_count);
+        Alcotest.(check bool) "some generals at 2x" true (r2.A.general_count > 0));
+    tc "dp beats or ties greedy on its own objective" (fun () ->
+        let s = Lazy.force fixture in
+        let budget = budget_of s 0.4 in
+        let sum_indiv (r : A.recommendation) =
+          List.fold_left
+            (fun acc c -> acc +. B.individual_benefit s.A.evaluator c)
+            0.0 r.A.outcome.S.config
+        in
+        let g = A.session_advise s ~budget A.Greedy in
+        let dp = A.session_advise s ~budget A.Dynamic_programming in
+        Alcotest.(check bool) "dp >= greedy" true
+          (sum_indiv dp >= sum_indiv g -. 1e-6));
+    tc "configs contain no duplicate indexes" (fun () ->
+        let s = Lazy.force fixture in
+        List.iter
+          (fun alg ->
+            let r = A.session_advise s ~budget:(budget_of s 1.5) alg in
+            let keys = List.map (fun c -> D.logical_key c.C.def) r.A.outcome.S.config in
+            Alcotest.(check int) (A.algorithm_name alg)
+              (List.length keys)
+              (List.length (List.sort_uniq String.compare keys)))
+          A.all_algorithms);
+    tc "recommended indexes are actually used by the optimizer" (fun () ->
+        let s = Lazy.force fixture in
+        let r = A.session_advise s ~budget:(budget_of s 1.0) A.Greedy_heuristics in
+        let defs = A.indexes r in
+        Cat.set_virtual_indexes s.A.catalog defs;
+        let used =
+          List.concat_map
+            (fun (item : W.item) ->
+              Xia_optimizer.Plan.indexes_used
+                (Xia_optimizer.Optimizer.optimize ~mode:Xia_optimizer.Optimizer.Evaluate
+                   s.A.catalog item.W.statement))
+            s.A.workload
+        in
+        Cat.clear_virtual_indexes s.A.catalog;
+        List.iter
+          (fun d ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s used" (Xia_xpath.Pattern.to_string d.D.pattern))
+              true
+              (List.exists (D.same d) used))
+          defs);
+  ]
+
+let advisor_tests =
+  [
+    tc "advise end-to-end produces a sane recommendation" (fun () ->
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let wl = Xia_workload.Tpox.workload () in
+        let r = A.advise catalog wl ~budget:(4 * 1024 * 1024) A.Greedy_heuristics in
+        Alcotest.(check bool) "has indexes" true (List.length (A.indexes r) > 0);
+        Alcotest.(check bool) "speedup > 1" true (r.A.est_speedup > 1.0);
+        Alcotest.(check bool) "cost improved" true (r.A.new_cost < r.A.base_cost));
+    tc "estimated speedup of empty config is 1" (fun () ->
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let wl = Xia_workload.Tpox.workload () in
+        Alcotest.(check (float 0.001)) "one" 1.0 (A.estimated_speedup catalog wl []));
+    tc "actual speedup > 1 with recommended indexes" (fun () ->
+        let catalog = Helpers.fresh_tiny_catalog () in
+        let wl = Xia_workload.Tpox.workload () in
+        let r = A.advise catalog wl ~budget:(4 * 1024 * 1024) A.Greedy_heuristics in
+        let speedup = A.actual_speedup ~metric:`Cost catalog wl (A.indexes r) in
+        Alcotest.(check bool) "faster" true (speedup > 1.0));
+    tc "training on fewer queries generalizes with top-down" (fun () ->
+        let catalog = Lazy.force Helpers.shared_catalog in
+        let wl = Xia_workload.Tpox.workload () in
+        let train = W.prefix 4 wl in
+        let td = A.advise catalog train ~budget:(32 * 1024 * 1024) A.Top_down_lite in
+        let h = A.advise catalog train ~budget:(32 * 1024 * 1024) A.Greedy_heuristics in
+        let sp defs = A.estimated_speedup catalog wl defs in
+        (* Top-down recommends more general indexes, and its configuration is
+           competitive on the full (partially unseen) workload. *)
+        Alcotest.(check bool) "more general" true
+          (td.A.general_count >= h.A.general_count);
+        Alcotest.(check bool) "competitive" true
+          (sp (A.indexes td) >= 0.8 *. sp (A.indexes h)));
+    tc "drop recommendations flag unused and update-swamped indexes" (fun () ->
+        let catalog = Helpers.fresh_tiny_catalog () in
+        let wl = Xia_workload.Tpox.workload_with_updates ~update_freq:100_000.0 () in
+        (* A useful index, an unused one, and one on the update-hot table. *)
+        let mk table p =
+          D.make ~table ~pattern:(Helpers.pattern p) ~dtype:D.Dstring ()
+        in
+        let useful = mk "SECURITY" "/Security/Symbol" in
+        let unused = mk "SECURITY" "/Security/Name" in
+        let hot = mk Xia_workload.Tpox.order_table "/FIXML/Order/@Acct" in
+        List.iter
+          (fun d -> ignore (Cat.create_index catalog d))
+          [ useful; unused; hot ];
+        let drops = A.drop_recommendations catalog wl in
+        Cat.drop_all_indexes catalog;
+        let dropped d = List.exists (fun (x, _) -> D.same x d) drops in
+        Alcotest.(check bool) "unused dropped" true (dropped unused);
+        Alcotest.(check bool) "useful kept" false (dropped useful);
+        Alcotest.(check bool) "hot dropped" true (dropped hot);
+        (match List.find_opt (fun (x, _) -> D.same x unused) drops with
+        | Some (_, A.Unused) -> ()
+        | _ -> Alcotest.fail "expected Unused reason");
+        match List.find_opt (fun (x, _) -> D.same x hot) drops with
+        | Some (_, A.Maintenance_exceeds_benefit _) -> ()
+        | _ -> Alcotest.fail "expected maintenance reason");
+    tc "no drops recommended for a useful query-only configuration" (fun () ->
+        let catalog = Helpers.fresh_tiny_catalog () in
+        let wl = Xia_workload.Tpox.workload () in
+        let d =
+          D.make ~table:"SECURITY" ~pattern:(Helpers.pattern "/Security/Symbol")
+            ~dtype:D.Dstring ()
+        in
+        ignore (Cat.create_index catalog d);
+        let drops = A.drop_recommendations catalog wl in
+        Cat.drop_all_indexes catalog;
+        Alcotest.(check int) "none" 0 (List.length drops));
+    tc "algorithm names are distinct" (fun () ->
+        let names = List.map A.algorithm_name (A.All_index :: A.all_algorithms) in
+        Alcotest.(check int) "distinct" (List.length names)
+          (List.length (List.sort_uniq String.compare names)));
+  ]
+
+let suites =
+  [
+    ("advisor.enumeration", enumeration_tests);
+    ("advisor.benefit", benefit_tests);
+    ("advisor.search", search_tests);
+    ("advisor.end_to_end", advisor_tests);
+  ]

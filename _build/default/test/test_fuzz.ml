@@ -1,0 +1,98 @@
+(* Fuzz-ish robustness properties: parsers must never crash — they return a
+   Result or raise Invalid_argument from the _exn wrappers, nothing else. *)
+
+let printable_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 60))
+
+let printable = QCheck.make ~print:(Printf.sprintf "%S") printable_gen
+
+(* Mutate a valid input by splicing random characters, to reach deeper parser
+   states than pure noise. *)
+let mutated_gen seeds =
+  QCheck.Gen.(
+    let* base = oneofl seeds in
+    let* pos = int_range 0 (max 1 (String.length base - 1)) in
+    let* insert = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 5) in
+    return
+      (String.sub base 0 (min pos (String.length base))
+      ^ insert
+      ^ String.sub base pos (String.length base - pos)))
+
+let xpath_seeds =
+  [
+    "/Security[Yield>4.5]/SecInfo/*/Sector";
+    "//Yield";
+    "/a/@id";
+    {|/a[b="x"][c]|};
+    "/Order/@*";
+  ]
+
+let query_seeds =
+  [
+    {|for $s in T('C')/a where $s/b = 1 return $s|};
+    {|for $s in T/a[b>1], $t in U/c return <r>{$s/x}</r>|};
+    "insert into T <a><b>1</b></a>";
+    {|delete from T where /a[k="v"]|};
+    {|update T set /a/b = "9" where /a[c=1]|};
+  ]
+
+let sql_seeds =
+  [
+    {|SELECT * FROM T WHERE XMLEXISTS('/a[b="x"]' PASSING C AS "d")|};
+    {|SELECT XMLQUERY('$d/a/n') FROM T WHERE XMLEXISTS('$d/a[b>1]')|};
+    {|INSERT INTO T VALUES (XMLPARSE('<a/>'))|};
+    {|UPDATE T SET XMLPATH '/a/b' = 'v' WHERE XMLEXISTS('/a')|};
+  ]
+
+let xml_seeds =
+  [ {|<a id="1"><b>x&amp;y</b><!-- c --><![CDATA[z]]></a>|}; "<a><b/><c>t</c></a>" ]
+
+let total f x =
+  match f x with
+  | Ok _ | Error _ -> true
+
+let suites =
+  [
+    Helpers.qsuite "fuzz.parsers"
+      [
+        QCheck.Test.make ~count:500 ~name:"xml parser total on noise" printable
+          (total Xia_xml.Parser.parse);
+        QCheck.Test.make ~count:500 ~name:"xml parser total on mutations"
+          (QCheck.make (mutated_gen xml_seeds))
+          (total Xia_xml.Parser.parse);
+        QCheck.Test.make ~count:500 ~name:"xpath parser total on noise" printable
+          (total Xia_xpath.Parser.parse);
+        QCheck.Test.make ~count:500 ~name:"xpath parser total on mutations"
+          (QCheck.make (mutated_gen xpath_seeds))
+          (total Xia_xpath.Parser.parse);
+        QCheck.Test.make ~count:500 ~name:"query parser total on noise" printable
+          (total Xia_query.Parser.parse_statement);
+        QCheck.Test.make ~count:500 ~name:"query parser total on mutations"
+          (QCheck.make (mutated_gen query_seeds))
+          (total Xia_query.Parser.parse_statement);
+        QCheck.Test.make ~count:500 ~name:"sqlxml parser total on mutations"
+          (QCheck.make (mutated_gen sql_seeds))
+          (total Xia_query.Sqlxml.parse_statement);
+        QCheck.Test.make ~count:300 ~name:"valid xpath reparses to equal ast"
+          (QCheck.make (QCheck.Gen.oneofl xpath_seeds))
+          (fun s ->
+            match Xia_xpath.Parser.parse s with
+            | Error _ -> false
+            | Ok p ->
+                let printed = Xia_xpath.Printer.path_to_string p in
+                (match Xia_xpath.Parser.parse printed with
+                | Ok p' -> Xia_xpath.Ast.equal_path p p'
+                | Error _ -> false));
+        QCheck.Test.make ~count:300 ~name:"valid statements reparse to same text"
+          (QCheck.make (QCheck.Gen.oneofl query_seeds))
+          (fun s ->
+            match Xia_query.Parser.parse_statement s with
+            | Error _ -> false
+            | Ok stmt ->
+                let printed = Xia_query.Printer.statement_to_string stmt in
+                (match Xia_query.Parser.parse_statement printed with
+                | Ok stmt' ->
+                    String.equal printed (Xia_query.Printer.statement_to_string stmt')
+                | Error _ -> false));
+      ];
+  ]

@@ -1,0 +1,347 @@
+(* Tests for index definitions, derived statistics, physical indexes, the
+   catalog and the maintenance cost model. *)
+
+module D = Xia_index.Index_def
+module IS = Xia_index.Index_stats
+module PI = Xia_index.Physical_index
+module Cat = Xia_index.Catalog
+module M = Xia_index.Maintenance
+module DS = Xia_storage.Doc_store
+module PS = Xia_storage.Path_stats
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let def ?(table = "T") ?(dtype = D.Dstring) p =
+  D.make ~table ~pattern:(Helpers.pattern p) ~dtype ()
+
+let store_with docs =
+  let s = DS.create "T" in
+  List.iter (fun d -> ignore (DS.insert s (Helpers.xml d))) docs;
+  s
+
+let def_tests =
+  [
+    tc "fresh names are unique" (fun () ->
+        let a = def "/a/b" and b = def "/a/b" in
+        Alcotest.(check bool) "names differ" true (a.D.name <> b.D.name);
+        Alcotest.(check bool) "same logically" true (D.same a b));
+    tc "logical key distinguishes type" (fun () ->
+        Alcotest.(check bool) "differ" true
+          (D.logical_key (def ~dtype:D.Dstring "/a/b")
+          <> D.logical_key (def ~dtype:D.Ddouble "/a/b")));
+    tc "covers requires same table and type" (fun () ->
+        Alcotest.(check bool) "covers" true
+          (D.covers ~general:(def "/a//*") ~specific:(def "/a/b"));
+        Alcotest.(check bool) "type mismatch" false
+          (D.covers ~general:(def ~dtype:D.Ddouble "/a//*") ~specific:(def "/a/b"));
+        Alcotest.(check bool) "table mismatch" false
+          (D.covers ~general:(def ~table:"U" "/a//*") ~specific:(def "/a/b")));
+  ]
+
+let stats_tests =
+  [
+    tc "derive counts typed entries" (fun () ->
+        let st = PS.collect (store_with [ "<a><v>1</v><v>x</v><v>2</v></a>" ]) in
+        let s_str = IS.derive st (def "/a/v") in
+        let s_num = IS.derive st (def ~dtype:D.Ddouble "/a/v") in
+        Alcotest.(check int) "string entries" 3 s_str.IS.entries;
+        Alcotest.(check int) "numeric entries" 2 s_num.IS.entries;
+        Alcotest.(check (float 0.001)) "min" 1.0 s_num.IS.min_num;
+        Alcotest.(check (float 0.001)) "max" 2.0 s_num.IS.max_num);
+    tc "derive aggregates covered paths" (fun () ->
+        let st = PS.collect (store_with [ "<a><b><s>1</s></b><c><s>2</s></c></a>" ]) in
+        let s = IS.derive st (def "/a//*") in
+        (* b, c, s, s *)
+        Alcotest.(check int) "entries" 4 s.IS.entries);
+    tc "empty pattern yields empty stats with one page" (fun () ->
+        let st = PS.collect (store_with [ "<a/>" ]) in
+        let s = IS.derive st (def "/zzz") in
+        Alcotest.(check int) "entries" 0 s.IS.entries;
+        Alcotest.(check int) "size" Xia_storage.Cost_params.page_size s.IS.size_bytes);
+    tc "matched_docs clamped by table size" (fun () ->
+        let st = PS.collect (store_with [ "<a><b>1</b><c>2</c></a>" ]) in
+        let s = IS.derive st (def "/a/*") in
+        Alcotest.(check int) "docs" 1 s.IS.matched_docs);
+    tc "general index is at least as large" (fun () ->
+        let st =
+          PS.collect
+            (store_with [ "<a><b>alpha</b><c>beta</c></a>"; "<a><b>gamma</b></a>" ])
+        in
+        let spec = IS.derive st (def "/a/b") in
+        let gen = IS.derive st (def "/a//*") in
+        Alcotest.(check bool) "bigger" true (gen.IS.size_bytes >= spec.IS.size_bytes);
+        Alcotest.(check bool) "more entries" true (gen.IS.entries >= spec.IS.entries));
+    tc "btree shape monotone in entries" (fun () ->
+        let s1, l1, v1 = IS.btree_shape ~entries:100 ~avg_key_bytes:8.0 in
+        let s2, l2, v2 = IS.btree_shape ~entries:1_000_000 ~avg_key_bytes:8.0 in
+        Alcotest.(check bool) "size" true (s2 > s1);
+        Alcotest.(check bool) "leaves" true (l2 > l1);
+        Alcotest.(check bool) "levels" true (v2 >= v1 && v1 >= 1));
+    tc "derive_cached memoizes per generation" (fun () ->
+        let store = store_with [ "<a><b>1</b></a>" ] in
+        let st = PS.collect store in
+        let d = def "/a/b" in
+        Alcotest.(check bool) "same" true (IS.derive_cached st d == IS.derive_cached st d));
+  ]
+
+let entry_values entries = List.map (fun (e : PI.entry) -> e.PI.key) entries
+
+let physical_tests =
+  [
+    tc "build collects covered nodes" (fun () ->
+        let s = store_with [ "<a><b>x</b><b>y</b></a>"; "<a><b>x</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        Alcotest.(check int) "entries" 3 (PI.entry_count pi));
+    tc "lookup_eq" (fun () ->
+        let s = store_with [ "<a><b>x</b><b>y</b></a>"; "<a><b>x</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        Alcotest.(check int) "x" 2 (List.length (PI.lookup_eq pi (PI.Kstring "x")));
+        Alcotest.(check int) "y" 1 (List.length (PI.lookup_eq pi (PI.Kstring "y")));
+        Alcotest.(check int) "none" 0 (List.length (PI.lookup_eq pi (PI.Kstring "z"))));
+    tc "numeric index rejects invalid values" (fun () ->
+        let s = store_with [ "<a><v>1</v><v>junk</v><v>2.5</v></a>" ] in
+        let pi = PI.build s (def ~dtype:D.Ddouble "/a/v") in
+        Alcotest.(check int) "entries" 2 (PI.entry_count pi));
+    tc "range lookup inclusive/exclusive" (fun () ->
+        let s = store_with [ "<a><v>1</v><v>2</v><v>3</v><v>4</v></a>" ] in
+        let pi = PI.build s (def ~dtype:D.Ddouble "/a/v") in
+        let range lo hi = List.length (PI.lookup_range pi ~lo ~hi) in
+        Alcotest.(check int) "all" 4 (range PI.Unbounded PI.Unbounded);
+        Alcotest.(check int) ">=2" 3 (range (PI.Inclusive (PI.Kdouble 2.0)) PI.Unbounded);
+        Alcotest.(check int) ">2" 2 (range (PI.Exclusive (PI.Kdouble 2.0)) PI.Unbounded);
+        Alcotest.(check int) "<3" 2 (range PI.Unbounded (PI.Exclusive (PI.Kdouble 3.0)));
+        Alcotest.(check int) "2..3" 2
+          (range (PI.Inclusive (PI.Kdouble 2.0)) (PI.Inclusive (PI.Kdouble 3.0))));
+    tc "lookup_ne" (fun () ->
+        let s = store_with [ "<a><v>1</v><v>2</v><v>2</v></a>" ] in
+        let pi = PI.build s (def ~dtype:D.Ddouble "/a/v") in
+        Alcotest.(check int) "ne 2" 1 (List.length (PI.lookup_ne pi (PI.Kdouble 2.0))));
+    tc "entries sorted by key" (fun () ->
+        let s = store_with [ "<a><v>3</v><v>1</v><v>2</v></a>" ] in
+        let pi = PI.build s (def ~dtype:D.Ddouble "/a/v") in
+        let keys = entry_values (PI.all pi) in
+        Alcotest.(check bool) "sorted" true
+          (keys = List.sort PI.compare_key keys));
+    tc "attribute pattern indexes attributes" (fun () ->
+        let s = store_with [ {|<a id="7"><b id="8"/></a>|} ] in
+        let pi = PI.build s (def "//@id") in
+        Alcotest.(check int) "entries" 2 (PI.entry_count pi));
+    tc "wildcard pattern build uses memoized acceptance" (fun () ->
+        let s = store_with [ "<a><b>1</b><c>2</c></a>"; "<a><b>3</b></a>" ] in
+        let pi = PI.build s (def "/a/*") in
+        Alcotest.(check int) "entries" 3 (PI.entry_count pi));
+    tc "size_bytes consistent with virtual model" (fun () ->
+        let s = store_with [ "<a><b>hello</b><b>world</b></a>" ] in
+        let st = PS.collect s in
+        let d = def "/a/b" in
+        let pi = PI.build s d in
+        Alcotest.(check int) "same size" (IS.derive st d).IS.size_bytes (PI.size_bytes pi));
+    tc "distinct_doc_count" (fun () ->
+        let s = store_with [ "<a><b>x</b><b>y</b></a>"; "<a><b>z</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        Alcotest.(check int) "docs" 2 (PI.distinct_doc_count (PI.all pi)));
+    tc "key_of_value conversion" (fun () ->
+        Alcotest.(check bool) "str" true
+          (PI.key_of_value D.Dstring "abc" = Some (PI.Kstring "abc"));
+        Alcotest.(check bool) "num" true
+          (PI.key_of_value D.Ddouble "4.5" = Some (PI.Kdouble 4.5));
+        Alcotest.(check bool) "reject" true (PI.key_of_value D.Ddouble "abc" = None));
+  ]
+
+(* Incremental maintenance: folding the change log into an index must be
+   indistinguishable from rebuilding it. *)
+let same_entries a b =
+  let l pi = List.map (fun (e : PI.entry) -> (e.PI.key, e.PI.doc, e.PI.node)) (PI.all pi) in
+  l a = l b
+
+let incremental_tests =
+  [
+    tc "insert via change log equals rebuild" (fun () ->
+        let s = store_with [ "<a><b>x</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        let gen0 = PI.built_generation pi in
+        ignore (DS.insert s (Helpers.xml "<a><b>y</b><b>z</b></a>"));
+        let changes = Option.get (DS.changes_since s gen0) in
+        let inc = PI.apply_changes pi ~generation:(DS.generation s) changes in
+        Alcotest.(check bool) "equal" true (same_entries inc (PI.build s (def "/a/b")));
+        Alcotest.(check int) "three" 3 (PI.entry_count inc));
+    tc "delete via change log equals rebuild" (fun () ->
+        let s = store_with [ "<a><b>x</b></a>"; "<a><b>y</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        let gen0 = PI.built_generation pi in
+        ignore (DS.delete s 0);
+        let changes = Option.get (DS.changes_since s gen0) in
+        let inc = PI.apply_changes pi ~generation:(DS.generation s) changes in
+        Alcotest.(check bool) "equal" true (same_entries inc (PI.build s (def "/a/b")));
+        Alcotest.(check int) "one" 1 (PI.entry_count inc));
+    tc "replace via change log equals rebuild" (fun () ->
+        let s = store_with [ "<a><b>x</b></a>" ] in
+        let pi = PI.build s (def "/a/b") in
+        let gen0 = PI.built_generation pi in
+        ignore (DS.replace s 0 (Helpers.xml "<a><b>q</b><c/></a>"));
+        let changes = Option.get (DS.changes_since s gen0) in
+        let inc = PI.apply_changes pi ~generation:(DS.generation s) changes in
+        Alcotest.(check bool) "equal" true (same_entries inc (PI.build s (def "/a/b"))));
+    tc "changes_since None after deep history" (fun () ->
+        let s = DS.create "T" in
+        Alcotest.(check bool) "fresh log reaches gen 0" true
+          (DS.changes_since s 0 <> None));
+    tc "catalog refresh uses incremental path transparently" (fun () ->
+        let c = Cat.create () in
+        let t = Cat.add_table c (store_with [ "<a><b>1</b></a>" ]) in
+        ignore (Cat.create_index c (def "/a/b"));
+        for i = 2 to 5 do
+          ignore (DS.insert t.Cat.store (Helpers.xml (Printf.sprintf "<a><b>%d</b></a>" i)))
+        done;
+        ignore (DS.delete t.Cat.store 0);
+        Cat.refresh_indexes c;
+        match Cat.real_indexes c "T" with
+        | [ pi ] ->
+            Alcotest.(check int) "entries" 4 (PI.entry_count pi);
+            Alcotest.(check int) "fresh" (DS.generation t.Cat.store)
+              (PI.built_generation pi)
+        | _ -> Alcotest.fail "expected one index");
+  ]
+
+let incremental_properties =
+  [
+    QCheck.Test.make ~count:60 ~name:"random DML: incremental equals rebuild"
+      QCheck.(pair (int_range 0 100_000) (int_range 1 25))
+      (fun (seed, ops) ->
+        let rng = Random.State.make [| seed |] in
+        let s = store_with [ "<a><b>x</b></a>"; "<a><b>y</b><c>z</c></a>" ] in
+        let d = def "/a/*" in
+        let pi = ref (PI.build s d) in
+        let ok = ref true in
+        for _ = 1 to ops do
+          let gen0 = PI.built_generation !pi in
+          (match Random.State.int rng 3 with
+          | 0 ->
+              ignore
+                (DS.insert s
+                   (Helpers.xml
+                      (Printf.sprintf "<a><b>v%d</b></a>" (Random.State.int rng 50))))
+          | 1 -> (
+              match DS.doc_ids s with
+              | [] -> ()
+              | ids -> ignore (DS.delete s (List.nth ids (Random.State.int rng (List.length ids)))))
+          | _ -> (
+              match DS.doc_ids s with
+              | [] -> ()
+              | ids ->
+                  ignore
+                    (DS.replace s
+                       (List.nth ids (Random.State.int rng (List.length ids)))
+                       (Helpers.xml
+                          (Printf.sprintf "<a><c>r%d</c></a>" (Random.State.int rng 50))))));
+          match DS.changes_since s gen0 with
+          | None -> ()
+          | Some changes ->
+              pi := PI.apply_changes !pi ~generation:(DS.generation s) changes;
+              if not (same_entries !pi (PI.build s d)) then ok := false
+        done;
+        !ok);
+  ]
+
+let catalog_tests =
+  [
+    tc "add and find tables" (fun () ->
+        let c = Cat.create () in
+        ignore (Cat.add_table c (store_with [ "<a/>" ]));
+        Alcotest.(check bool) "found" true (Cat.find_table c "T" <> None);
+        Alcotest.(check (list string)) "names" [ "T" ] (Cat.table_names c));
+    tc "duplicate table rejected" (fun () ->
+        let c = Cat.create () in
+        ignore (Cat.add_table c (DS.create "T"));
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Cat.add_table c (DS.create "T"));
+             false
+           with Invalid_argument _ -> true));
+    tc "stats cached and refreshed on change" (fun () ->
+        let c = Cat.create () in
+        let t = Cat.add_table c (store_with [ "<a><b>1</b></a>" ]) in
+        let s1 = Cat.stats c "T" in
+        let s2 = Cat.stats c "T" in
+        Alcotest.(check bool) "cached" true (s1 == s2);
+        ignore (DS.insert t.Cat.store (Helpers.xml "<a><b>2</b></a>"));
+        let s3 = Cat.stats c "T" in
+        Alcotest.(check bool) "refreshed" true (s3 != s2);
+        Alcotest.(check int) "docs" 2 s3.PS.doc_count);
+    tc "create/drop index" (fun () ->
+        let c = Cat.create () in
+        ignore (Cat.add_table c (store_with [ "<a><b>1</b></a>" ]));
+        let d = def "/a/b" in
+        ignore (Cat.create_index c d);
+        Alcotest.(check int) "one" 1 (List.length (Cat.real_indexes c "T"));
+        Alcotest.(check bool) "dropped" true (Cat.drop_index c d.D.name);
+        Alcotest.(check int) "zero" 0 (List.length (Cat.real_indexes c "T"));
+        Alcotest.(check bool) "missing" false (Cat.drop_index c "nope"));
+    tc "duplicate logical index rejected" (fun () ->
+        let c = Cat.create () in
+        ignore (Cat.add_table c (store_with [ "<a><b>1</b></a>" ]));
+        ignore (Cat.create_index c (def "/a/b"));
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Cat.create_index c (def "/a/b"));
+             false
+           with Invalid_argument _ -> true));
+    tc "refresh_indexes rebuilds stale" (fun () ->
+        let c = Cat.create () in
+        let t = Cat.add_table c (store_with [ "<a><b>1</b></a>" ]) in
+        ignore (Cat.create_index c (def "/a/b"));
+        ignore (DS.insert t.Cat.store (Helpers.xml "<a><b>2</b></a>"));
+        Cat.refresh_indexes c;
+        match Cat.real_indexes c "T" with
+        | [ pi ] -> Alcotest.(check int) "entries" 2 (PI.entry_count pi)
+        | _ -> Alcotest.fail "expected one index");
+    tc "virtual indexes set and cleared" (fun () ->
+        let c = Cat.create () in
+        ignore (Cat.add_table c (store_with [ "<a/>" ]));
+        Cat.set_virtual_indexes c [ def "/a/b"; def "/a/c" ];
+        Alcotest.(check int) "two" 2 (List.length (Cat.virtual_indexes c "T"));
+        Cat.set_virtual_indexes c [ def "/a/d" ];
+        Alcotest.(check int) "replaced" 1 (List.length (Cat.virtual_indexes c "T"));
+        Cat.clear_virtual_indexes c;
+        Alcotest.(check int) "cleared" 0 (List.length (Cat.virtual_indexes c "T")));
+  ]
+
+let maintenance_tests =
+  [
+    tc "queries cost nothing (no docs affected)" (fun () ->
+        let st = PS.collect (store_with [ "<a><b>1</b></a>" ]) in
+        let s = IS.derive st (def "/a/b") in
+        Alcotest.(check (float 0.001)) "zero" 0.0
+          (M.cost s M.Dml_insert ~docs_affected:0.0));
+    tc "insert charges entries_per_doc" (fun () ->
+        let st = PS.collect (store_with [ "<a><b>1</b><b>2</b></a>" ]) in
+        let s = IS.derive st (def "/a/b") in
+        let c1 = M.cost s M.Dml_insert ~docs_affected:1.0 in
+        let c2 = M.cost s M.Dml_insert ~docs_affected:2.0 in
+        Alcotest.(check bool) "positive" true (c1 > 0.0);
+        Alcotest.(check (float 0.001)) "linear" (2.0 *. c1) c2);
+    tc "irrelevant index pays nothing" (fun () ->
+        let st = PS.collect (store_with [ "<a><b>1</b></a>" ]) in
+        let s = IS.derive st (def "/zzz/q") in
+        Alcotest.(check (float 0.001)) "zero" 0.0 (M.cost s M.Dml_insert ~docs_affected:1.0));
+    tc "bigger index costs more to maintain" (fun () ->
+        let st =
+          PS.collect (store_with [ "<a><b>1</b><c>2</c><d>3</d></a>" ])
+        in
+        let small = IS.derive st (def "/a/b") in
+        let big = IS.derive st (def "/a/*") in
+        Alcotest.(check bool) "more" true
+          (M.cost big M.Dml_insert ~docs_affected:1.0
+          > M.cost small M.Dml_insert ~docs_affected:1.0));
+  ]
+
+let suites =
+  [
+    ("index.def", def_tests);
+    ("index.stats", stats_tests);
+    ("index.physical", physical_tests);
+    ("index.incremental", incremental_tests);
+    Helpers.qsuite "index.incremental_properties" incremental_properties;
+    ("index.catalog", catalog_tests);
+    ("index.maintenance", maintenance_tests);
+  ]

@@ -1,0 +1,212 @@
+(* Tests for the XPath AST, parser, printer and evaluator. *)
+
+module A = Xia_xpath.Ast
+module P = Xia_xpath.Parser
+module Pr = Xia_xpath.Printer
+module E = Xia_xpath.Eval
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let roundtrip s = Pr.path_to_string (Helpers.xpath s)
+
+let parser_tests =
+  [
+    tc "simple path" (fun () ->
+        check Alcotest.string "rt" "/Security/Yield" (roundtrip "/Security/Yield"));
+    tc "descendant axis" (fun () ->
+        check Alcotest.string "rt" "//Yield" (roundtrip "//Yield"));
+    tc "mixed axes" (fun () ->
+        check Alcotest.string "rt" "/a//b/c" (roundtrip "/a//b/c"));
+    tc "wildcard" (fun () ->
+        check Alcotest.string "rt" "/Security/SecInfo/*/Sector"
+          (roundtrip "/Security/SecInfo/*/Sector"));
+    tc "attribute step" (fun () ->
+        check Alcotest.string "rt" "/Order/@ID" (roundtrip "/Order/@ID"));
+    tc "attribute wildcard" (fun () ->
+        check Alcotest.string "rt" "/Order/@*" (roundtrip "/Order/@*"));
+    tc "descendant wildcard" (fun () ->
+        check Alcotest.string "rt" "/Security//*" (roundtrip "/Security//*"));
+    tc "numeric predicate" (fun () ->
+        check Alcotest.string "rt" "/Security[Yield>4.5]" (roundtrip "/Security[Yield>4.5]"));
+    tc "string predicate" (fun () ->
+        check Alcotest.string "rt" {|/Security[Symbol="BCIIPRC"]|}
+          (roundtrip {|/Security[Symbol="BCIIPRC"]|}));
+    tc "single-quoted literal" (fun () ->
+        check Alcotest.string "rt" {|/a[b="x"]|} (roundtrip "/a[b='x']"));
+    tc "existence predicate" (fun () ->
+        check Alcotest.string "rt" "/a[b/c]" (roundtrip "/a[b/c]"));
+    tc "self comparison" (fun () ->
+        check Alcotest.string "rt" "/a/b[.>=3]" (roundtrip "/a/b[. >= 3]"));
+    tc "relative path in predicate" (fun () ->
+        check Alcotest.string "rt" {|/Security[SecInfo/*/Sector="Energy"]/Name|}
+          (roundtrip {|/Security[SecInfo/*/Sector="Energy"]/Name|}));
+    tc "multiple predicates on one step" (fun () ->
+        check Alcotest.string "rt" "/a[b][c>1]" (roundtrip "/a[b][c > 1]"));
+    tc "negative number literal" (fun () ->
+        check Alcotest.string "rt" "/a[b<-2.5]" (roundtrip "/a[b < -2.5]"));
+    tc "not-equal operator" (fun () ->
+        check Alcotest.string "rt" {|/a[b!="x"]|} (roundtrip {|/a[b != "x"]|}));
+    tc "all comparison operators" (fun () ->
+        List.iter
+          (fun op -> ignore (Helpers.xpath (Printf.sprintf "/a[b%s1]" op)))
+          [ "="; "!="; "<"; "<="; ">"; ">=" ]);
+    tc "relative parse" (fun () ->
+        let p = P.parse_relative_exn "SecInfo/*/Sector" in
+        check Alcotest.string "rt" "SecInfo/*/Sector" (Pr.relative_to_string p));
+    tc "relative with descendant" (fun () ->
+        let p = P.parse_relative_exn "a//b" in
+        check Alcotest.string "rt" "a//b" (Pr.relative_to_string p));
+    tc "prefix parsing stops at foreign char" (fun () ->
+        match P.parse_prefix "/a/b = 3" ~pos:0 with
+        | Ok (p, stop) ->
+            check Alcotest.string "path" "/a/b" (Pr.path_to_string p);
+            check Alcotest.int "pos" 4 stop
+        | Error _ -> Alcotest.fail "prefix parse failed");
+    tc "rejects empty" (fun () ->
+        Alcotest.(check bool) "err" true (Result.is_error (P.parse "")));
+    tc "rejects relative in absolute position" (fun () ->
+        Alcotest.(check bool) "err" true (Result.is_error (P.parse "a/b")));
+    tc "rejects unterminated predicate" (fun () ->
+        Alcotest.(check bool) "err" true (Result.is_error (P.parse "/a[b")));
+    tc "rejects trailing slash" (fun () ->
+        Alcotest.(check bool) "err" true (Result.is_error (P.parse "/a/")));
+  ]
+
+let ast_tests =
+  [
+    tc "strip_predicates removes all" (fun () ->
+        let p = Helpers.xpath {|/a[b>1]/c[d="x"]|} in
+        Alcotest.(check bool) "has preds" true (A.has_predicates p);
+        let s = A.strip_predicates p in
+        Alcotest.(check bool) "no preds" false (A.has_predicates s);
+        check Alcotest.string "shape" "/a/c" (Pr.path_to_string s));
+    tc "flip_cmp is involutive" (fun () ->
+        List.iter
+          (fun c -> Alcotest.(check bool) "inv" true (A.flip_cmp (A.flip_cmp c) = c))
+          [ A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge ]);
+    tc "literal_matches numeric coercion" (fun () ->
+        Alcotest.(check bool) "gt" true (A.literal_matches "4.7" A.Gt (A.Number_lit 4.5));
+        Alcotest.(check bool) "not gt" false (A.literal_matches "4.2" A.Gt (A.Number_lit 4.5));
+        Alcotest.(check bool) "trim" true (A.literal_matches " 42 " A.Eq (A.Number_lit 42.0));
+        Alcotest.(check bool) "non-numeric" false
+          (A.literal_matches "abc" A.Gt (A.Number_lit 0.0)));
+    tc "literal_matches string compare" (fun () ->
+        Alcotest.(check bool) "eq" true (A.literal_matches "Energy" A.Eq (A.String_lit "Energy"));
+        Alcotest.(check bool) "lt" true (A.literal_matches "Apple" A.Lt (A.String_lit "Banana")));
+    tc "equal_path distinguishes axes" (fun () ->
+        Alcotest.(check bool) "neq" false
+          (A.equal_path (Helpers.xpath "/a/b") (Helpers.xpath "/a//b")));
+  ]
+
+let eval_on doc path = E.eval_doc (Helpers.xml doc) (Helpers.xpath path)
+
+let values matches = List.map (fun (m : E.match_) -> m.E.value) matches
+
+let eval_tests =
+  [
+    tc "root match" (fun () ->
+        Alcotest.(check int) "n" 1 (List.length (eval_on "<a>x</a>" "/a")));
+    tc "root mismatch" (fun () ->
+        Alcotest.(check int) "n" 0 (List.length (eval_on "<a>x</a>" "/b")));
+    tc "child navigation" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "1"; "2" ]
+          (values (eval_on "<a><b>1</b><b>2</b><c>3</c></a>" "/a/b")));
+    tc "descendant finds deep nodes" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "1"; "2" ]
+          (values (eval_on "<a><b>1</b><c><b>2</b></c></a>" "//b")));
+    tc "descendant of root includes root" (fun () ->
+        Alcotest.(check int) "n" 1 (List.length (eval_on "<a>x</a>" "//a")));
+    tc "wildcard step" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "1"; "2" ]
+          (values (eval_on "<a><b><s>1</s></b><c><s>2</s></c></a>" "/a/*/s")));
+    tc "attribute step" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "7" ]
+          (values (eval_on {|<a id="7"><b id="8"/></a>|} "/a/@id")));
+    tc "descendant attribute includes self" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "7"; "8" ]
+          (values (eval_on {|<a id="7"><b id="8"/></a>|} "//@id")));
+    tc "attribute wildcard" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "1"; "2" ]
+          (values (eval_on {|<a x="1" y="2"/>|} "/a/@*")));
+    tc "no navigation through attributes" (fun () ->
+        Alcotest.(check int) "n" 0 (List.length (eval_on {|<a id="7"/>|} "/a/@id/b")));
+    tc "numeric predicate filters" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "5" ]
+          (values (eval_on "<r><a><v>5</v></a><a><v>3</v></a></r>" "/r/a[v>4]/v")));
+    tc "string predicate filters" (fun () ->
+        Alcotest.(check int) "n" 1
+          (List.length (eval_on "<r><a><s>x</s></a><a><s>y</s></a></r>" {|/r/a[s="x"]|})));
+    tc "existence predicate" (fun () ->
+        Alcotest.(check int) "n" 1
+          (List.length (eval_on "<r><a><b/></a><a/></r>" "/r/a[b]")));
+    tc "self-comparison predicate" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "9" ]
+          (values (eval_on "<r><v>9</v><v>2</v></r>" "/r/v[.>5]")));
+    tc "paper example Q2 pattern" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "Energy" ]
+          (values
+             (E.eval_doc Helpers.security_doc
+                (Helpers.xpath "/Security[Yield>4.5]/SecInfo/*/Sector"))));
+    tc "predicate on mid path with descendant" (fun () ->
+        Alcotest.(check int) "n" 1
+          (List.length
+             (eval_on "<r><a><k>1</k><deep><t/></deep></a><a><k>0</k></a></r>"
+                "/r/a[k=1]//t")));
+    tc "duplicates removed under //" (fun () ->
+        (* Both /r/a and /r//a reach the same node exactly once. *)
+        Alcotest.(check int) "n" 1
+          (List.length (eval_on "<r><a><a/></a></r>" "/r/a/a")));
+    tc "document order maintained" (fun () ->
+        check (Alcotest.list Alcotest.string) "vals" [ "1"; "2"; "3" ]
+          (values (eval_on "<r><x>1</x><y><x>2</x></y><x>3</x></r>" "//x")));
+    tc "eval_elements drops attributes" (fun () ->
+        let root = E.annotate (Helpers.xml {|<a id="1"><b/></a>|}) in
+        Alcotest.(check int) "n" 0 (List.length (E.eval_elements root (Helpers.xpath "/a/@id")));
+        Alcotest.(check int) "n" 1 (List.length (E.eval_elements root (Helpers.xpath "/a/b"))));
+    tc "eval_relative" (fun () ->
+        let root = E.annotate Helpers.security_doc in
+        let rel = P.parse_relative_exn "SecInfo/*/Sector" in
+        check (Alcotest.list Alcotest.string) "vals" [ "Energy" ]
+          (List.map (fun (m : E.match_) -> m.E.value) (E.eval_relative root rel)));
+    tc "predicate_holds_on" (fun () ->
+        let root = E.annotate Helpers.security_doc in
+        let pred =
+          A.Compare (P.parse_relative_exn "Yield", A.Gt, A.Number_lit 4.5)
+        in
+        Alcotest.(check bool) "holds" true (E.predicate_holds_on root pred));
+    tc "annotate rejects text root" (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Eval.annotate: document root is a text node")
+          (fun () -> ignore (E.annotate (Xia_xml.Types.text "x"))));
+  ]
+
+let properties =
+  [
+    QCheck.Test.make ~count:200 ~name:"//* returns every element" Helpers.doc_arbitrary
+      (fun doc ->
+        List.length (E.eval_doc doc (Helpers.xpath "//*"))
+        = Xia_xml.Types.count_elements doc);
+    QCheck.Test.make ~count:200 ~name:"eval results are distinct node ids"
+      Helpers.doc_arbitrary (fun doc ->
+        let ms = E.eval_doc doc (Helpers.xpath "//*") in
+        let ids = List.map (fun (m : E.match_) -> (m.E.id.pre, m.E.id.attr)) ms in
+        List.length ids = List.length (List.sort_uniq compare ids));
+    QCheck.Test.make ~count:200 ~name:"/a subset of //a" Helpers.doc_arbitrary
+      (fun doc ->
+        let direct = E.eval_doc doc (Helpers.xpath "/a") in
+        let deep = E.eval_doc doc (Helpers.xpath "//a") in
+        List.for_all
+          (fun (m : E.match_) ->
+            List.exists
+              (fun (m' : E.match_) -> Xia_xml.Types.equal_node_id m.E.id m'.E.id)
+              deep)
+          direct);
+  ]
+
+let suites =
+  [
+    ("xpath.parser", parser_tests);
+    ("xpath.ast", ast_tests);
+    ("xpath.eval", eval_tests);
+    Helpers.qsuite "xpath.properties" properties;
+  ]
