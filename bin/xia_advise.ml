@@ -74,7 +74,7 @@ let algorithm_of_string = function
 (* ---------- commands ---------- *)
 
 let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
-    update_freq synthetic verbose =
+    update_freq synthetic domains verbose =
   let catalog = load_catalog benchmark small data_dirs in
   let workload = base_workload benchmark update_freq synthetic workload_file catalog in
   match algorithm_of_string algorithm with
@@ -83,9 +83,9 @@ let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
       1
   | Ok alg ->
       let budget = int_of_float (budget_mb *. 1024.0 *. 1024.0) in
-      let t0 = Sys.time () in
-      let r = Advisor.advise ~beta catalog workload ~budget alg in
-      let elapsed = Sys.time () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let r = Advisor.advise ~beta ?domains catalog workload ~budget alg in
+      let elapsed = Unix.gettimeofday () -. t0 in
       Format.printf "%a@." Advisor.pp_recommendation r;
       Format.printf
         "base cost %.0f -> new cost %.0f (estimated speedup %.2fx)@.advisor time %.2fs, optimizer calls %d@."
@@ -122,11 +122,9 @@ let explain_cmd benchmark small data_dirs query with_recommended =
             (fun (table, pattern, dtype) -> Xia_index.Index_def.make ~table ~pattern ~dtype ())
             candidates
         in
-        Catalog.set_virtual_indexes catalog defs;
         Format.printf "@.Plan with every candidate indexed (virtually):@.  %a@."
           Xia_optimizer.Plan.pp
-          (Optimizer.optimize ~mode:Optimizer.Evaluate catalog stmt);
-        Catalog.clear_virtual_indexes catalog
+          (Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:defs catalog stmt)
       end;
       0
 
@@ -299,6 +297,16 @@ let synthetic_arg =
     value & opt int 0
     & info [ "synthetic" ] ~doc:"Append N synthetic random-path queries.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Domains used for parallel what-if evaluation (default: the \
+           machine's recommended domain count).  The recommendation is \
+           identical for every value.")
+
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the workload.")
 
 let query_arg =
@@ -315,7 +323,8 @@ let with_recommended_arg =
 let advise_term =
   Term.(
     const advise_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
-    $ budget_arg $ algorithm_arg $ beta_arg $ updates_arg $ synthetic_arg $ verbose_arg)
+    $ budget_arg $ algorithm_arg $ beta_arg $ updates_arg $ synthetic_arg
+    $ domains_arg $ verbose_arg)
 
 let explain_term =
   Term.(

@@ -15,10 +15,11 @@ let log_src = Logs.Src.create "xia.advisor" ~doc:"XML Index Advisor phases"
 
 module Log = (val Logs.src_log log_src)
 
+(* Wall-clock: with parallel evaluation, CPU time would overstate elapsed. *)
 let timed what f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let r = f () in
-  Log.info (fun m -> m "%s: %.3fs" what (Sys.time () -. t0));
+  Log.info (fun m -> m "%s: %.3fs" what (Unix.gettimeofday () -. t0));
   r
 
 type algorithm =
@@ -77,13 +78,13 @@ let summarize ev algorithm (outcome : Search.outcome) =
   }
 
 (* One-shot advise: builds candidates and an evaluator internally. *)
-let advise ?beta catalog workload ~budget algorithm =
+let advise ?beta ?domains catalog workload ~budget algorithm =
   let set = timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload) in
   Log.info (fun m ->
       m "candidates: %d basic, %d total"
         (List.length (Candidate.basics set))
         (Candidate.cardinality set));
-  let ev = timed "base cost evaluation" (fun () -> Benefit.create catalog workload) in
+  let ev = timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload) in
   let outcome =
     timed (algorithm_name algorithm) (fun () -> run_search ?beta ev set ~budget algorithm)
   in
@@ -99,11 +100,13 @@ type session = {
   evaluator : Benefit.t;
 }
 
-let create_session catalog workload =
+let create_session ?domains catalog workload =
   let candidates =
     timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload)
   in
-  let evaluator = timed "base cost evaluation" (fun () -> Benefit.create catalog workload) in
+  let evaluator =
+    timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload)
+  in
   { catalog; workload; candidates; evaluator }
 
 let session_advise ?beta session ~budget algorithm =
@@ -114,15 +117,13 @@ let session_advise ?beta session ~budget algorithm =
    of index definitions (used for train/test experiments where the test
    workload differs from the advisor's training workload). *)
 let estimated_workload_cost catalog (workload : Workload.t) defs =
-  Catalog.set_virtual_indexes catalog defs;
-  let total =
-    List.fold_left
-      (fun acc (item : Workload.item) ->
-        acc +. (item.freq *. Optimizer.statement_cost ~mode:Optimizer.Evaluate catalog item.statement))
-      0.0 workload
-  in
-  Catalog.clear_virtual_indexes catalog;
-  total
+  List.fold_left
+    (fun acc (item : Workload.item) ->
+      acc
+      +. item.freq
+         *. Optimizer.statement_cost ~mode:Optimizer.Evaluate ~virtual_config:defs
+              catalog item.statement)
+    0.0 workload
 
 let estimated_speedup catalog workload defs =
   let base = estimated_workload_cost catalog workload [] in
@@ -146,8 +147,9 @@ let execute_workload catalog (workload : Workload.t) defs =
   (!wall, !cost, !rows)
 
 (* Actual speedup: measured ratio between the no-index run and the configured
-   run.  [`Wall] uses wall-clock CPU time; [`Cost] the deterministic simulated
-   cost of the work actually performed (pages touched, nodes navigated). *)
+   run.  [`Wall] uses elapsed wall-clock time; [`Cost] the deterministic
+   simulated cost of the work actually performed (pages touched, nodes
+   navigated). *)
 let actual_speedup ?(metric = `Cost) catalog workload defs =
   let wall0, cost0, _ = execute_workload catalog workload [] in
   let wall1, cost1, _ = execute_workload catalog workload defs in

@@ -30,9 +30,13 @@ type recommendation = {
 (** Recommended index definitions. *)
 val indexes : recommendation -> Index_def.t list
 
-(** One-shot recommendation for a workload under a disk budget (bytes). *)
+(** One-shot recommendation for a workload under a disk budget (bytes).
+    [domains] bounds the parallel what-if fan-out (default
+    [Par.default_domains ()]); the recommendation is identical for every
+    value. *)
 val advise :
   ?beta:float ->
+  ?domains:int ->
   Catalog.t ->
   Workload.t ->
   budget:int ->
@@ -48,7 +52,7 @@ type session = {
   evaluator : Benefit.t;
 }
 
-val create_session : Catalog.t -> Workload.t -> session
+val create_session : ?domains:int -> Catalog.t -> Workload.t -> session
 
 val session_advise :
   ?beta:float -> session -> budget:int -> algorithm -> recommendation
@@ -67,7 +71,7 @@ val execute_workload :
 
 (** Measured speedup of the configured run over the no-index run.  [`Cost]
     (default) compares the deterministic simulated cost of the work actually
-    done; [`Wall] compares wall-clock CPU time. *)
+    done; [`Wall] compares elapsed wall-clock time. *)
 val actual_speedup :
   ?metric:[ `Cost | `Wall ] -> Catalog.t -> Workload.t -> Index_def.t list -> float
 

@@ -12,6 +12,18 @@
      cannot interact);
    - evaluated sub-configurations are cached.
 
+   What-if calls pass the virtual configuration to the optimizer explicitly
+   ([~virtual_config]), so an evaluation never mutates the catalog.  That
+   makes independent evaluations safe to run concurrently, and this module
+   fans them out over domains ([Par.map], up to [t.domains] at a time):
+   statement costs within a sub-configuration delta, sub-configuration deltas
+   within a benefit, and whole statements in [workload_cost] /
+   [used_in_plans].  Results are deterministic — every sum is folded in the
+   sequential order over positionally-stable [Par.map] outputs — and the
+   sub-configuration cache uses a compute-once discipline (a pending set plus
+   a condition variable) so [evaluations] and [cache_hits] also match the
+   sequential counts exactly.
+
    Note: the paper prints the maintenance term outside the frequency product;
    we scale mc by the statement frequency, which is the only reading under
    which repeating an update statement matters. *)
@@ -30,6 +42,10 @@ type t = {
   base_costs : float array;       (* per statement, no indexes *)
   base_affected : float array;    (* per statement, estimated documents modified *)
   cache : (string, float) Hashtbl.t;  (* sub-configuration -> cost delta term *)
+  domains : int;                  (* parallelism for what-if fan-out *)
+  lock : Mutex.t;                 (* guards cache/pending/counters *)
+  cond : Condition.t;             (* signaled when a pending key resolves *)
+  pending : (string, unit) Hashtbl.t;  (* keys being computed right now *)
   mutable evaluations : int;      (* optimizer calls made through this evaluator *)
   mutable cache_hits : int;
   mutable useful_memo : (int, unit) Hashtbl.t option;
@@ -43,13 +59,17 @@ let dml_kind = function
   | Ast.Update _ -> Some Maintenance.Dml_update
   | Ast.Select _ -> None
 
-let create catalog (workload : Workload.t) =
+let create ?domains catalog (workload : Workload.t) =
+  let domains = match domains with Some d -> max 1 d | None -> Par.default_domains () in
   let items = Array.of_list workload in
-  Catalog.clear_virtual_indexes catalog;
+  (* Force lazy statistics collection for every table up front: afterwards
+     concurrent what-if calls only read the catalog. *)
+  Catalog.warm_stats catalog;
   let base =
-    Array.map
+    Par.map ~domains
       (fun (item : Workload.item) ->
-        Optimizer.optimize ~mode:Optimizer.Evaluate catalog item.statement)
+        Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:[] catalog
+          item.statement)
       items
   in
   {
@@ -58,10 +78,19 @@ let create catalog (workload : Workload.t) =
     base_costs = Array.map (fun p -> p.Plan.total_cost) base;
     base_affected = Array.map (fun p -> p.Plan.affected_docs) base;
     cache = Hashtbl.create 256;
+    domains;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    pending = Hashtbl.create 8;
     evaluations = Array.length items;
     cache_hits = 0;
     useful_memo = None;
   }
+
+let count_evaluations t n =
+  Mutex.lock t.lock;
+  t.evaluations <- t.evaluations + n;
+  Mutex.unlock t.lock
 
 let base_workload_cost t =
   let total = ref 0.0 in
@@ -73,16 +102,19 @@ let base_workload_cost t =
 (* Cost of the whole workload under a configuration (one Evaluate pass per
    statement; captures all interactions).  Used for final reporting. *)
 let workload_cost t (config : Candidate.t list) =
-  Catalog.set_virtual_indexes t.catalog (List.map (fun c -> c.Candidate.def) config);
+  let defs = List.map (fun c -> c.Candidate.def) config in
+  let costs =
+    Par.map ~domains:t.domains
+      (fun (item : Workload.item) ->
+        Optimizer.statement_cost ~mode:Optimizer.Evaluate ~virtual_config:defs
+          t.catalog item.statement)
+      t.items
+  in
+  count_evaluations t (Array.length t.items);
   let total = ref 0.0 in
-  Array.iter
-    (fun (item : Workload.item) ->
-      t.evaluations <- t.evaluations + 1;
-      total :=
-        !total
-        +. (item.freq *. Optimizer.statement_cost ~mode:Optimizer.Evaluate t.catalog item.statement))
+  Array.iteri
+    (fun i (item : Workload.item) -> total := !total +. (item.freq *. costs.(i)))
     t.items;
-  Catalog.clear_virtual_indexes t.catalog;
   !total
 
 (* Maintenance charge of a configuration: for every DML statement, every
@@ -139,45 +171,88 @@ let sub_config_key (sub : Candidate.t list) =
        (List.map (fun c -> Xia_index.Index_def.logical_key c.Candidate.def) sub))
 
 (* Cost-delta term of one sub-configuration: Σ freq·(s_old − s_new) over its
-   affected statements. *)
+   affected statements.
+
+   Compute-once cache: concurrent callers asking for the same key block until
+   the first caller publishes the result, then count a cache hit — so the
+   [evaluations] / [cache_hits] totals are identical to a sequential run. *)
 let sub_config_delta t (sub : Candidate.t list) =
   let key = sub_config_key sub in
-  match Hashtbl.find_opt t.cache key with
-  | Some d ->
-      t.cache_hits <- t.cache_hits + 1;
-      d
-  | None ->
-      let affected =
-        List.fold_left
-          (fun acc c -> Int_set.union acc c.Candidate.affected)
-          Int_set.empty sub
+  let rec acquire () =
+    (* t.lock held *)
+    match Hashtbl.find_opt t.cache key with
+    | Some d ->
+        t.cache_hits <- t.cache_hits + 1;
+        `Hit d
+    | None ->
+        if Hashtbl.mem t.pending key then begin
+          Condition.wait t.cond t.lock;
+          acquire ()
+        end
+        else begin
+          Hashtbl.replace t.pending key ();
+          `Compute
+        end
+  in
+  Mutex.lock t.lock;
+  let decision = acquire () in
+  Mutex.unlock t.lock;
+  match decision with
+  | `Hit d -> d
+  | `Compute ->
+      let publish outcome =
+        Mutex.lock t.lock;
+        Hashtbl.remove t.pending key;
+        (match outcome with
+        | Some (delta, evals) ->
+            Hashtbl.replace t.cache key delta;
+            t.evaluations <- t.evaluations + evals
+        | None -> ());
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock
       in
-      Catalog.set_virtual_indexes t.catalog (List.map (fun c -> c.Candidate.def) sub);
-      let delta =
-        Int_set.fold
-          (fun stmt_index acc ->
-            if stmt_index < 0 || stmt_index >= Array.length t.items then acc
-            else begin
-              let item = t.items.(stmt_index) in
-              t.evaluations <- t.evaluations + 1;
-              let cost_new =
-                Optimizer.statement_cost ~mode:Optimizer.Evaluate t.catalog item.statement
-              in
-              acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new))
-            end)
-          affected 0.0
-      in
-      Catalog.clear_virtual_indexes t.catalog;
-      Hashtbl.add t.cache key delta;
-      delta
+      (try
+         let affected =
+           List.fold_left
+             (fun acc c -> Int_set.union acc c.Candidate.affected)
+             Int_set.empty sub
+         in
+         let defs = List.map (fun c -> c.Candidate.def) sub in
+         let stmts =
+           List.filter
+             (fun i -> i >= 0 && i < Array.length t.items)
+             (Int_set.elements affected)
+         in
+         let costs =
+           Par.map_list ~domains:t.domains
+             (fun stmt_index ->
+               Optimizer.statement_cost ~mode:Optimizer.Evaluate ~virtual_config:defs
+                 t.catalog t.items.(stmt_index).Workload.statement)
+             stmts
+         in
+         let delta =
+           List.fold_left2
+             (fun acc stmt_index cost_new ->
+               let item = t.items.(stmt_index) in
+               acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
+             0.0 stmts costs
+         in
+         publish (Some (delta, List.length stmts));
+         delta
+       with e ->
+         (* Unblock waiters; they will retry and recompute. *)
+         publish None;
+         raise e)
 
-(* The paper's Benefit(x1..xn; W). *)
+(* The paper's Benefit(x1..xn; W).  Independent sub-configurations are
+   evaluated concurrently; the deltas are summed in list order. *)
 let benefit t (config : Candidate.t list) =
   match config with
   | [] -> 0.0
   | _ ->
       let subs = sub_configurations config in
-      let delta = List.fold_left (fun acc sub -> acc +. sub_config_delta t sub) 0.0 subs in
+      let deltas = Par.map_list ~domains:t.domains (sub_config_delta t) subs in
+      let delta = List.fold_left ( +. ) 0.0 deltas in
       delta -. maintenance_charge t config
 
 (* Individual benefit of a single candidate, memoized through the
@@ -191,24 +266,33 @@ let individual_benefit t c = benefit t [ c ]
    preprocessing criterion — drop indexes "not being used in optimizer
    plans" — is exactly this check. *)
 let used_in_plans t (set : Candidate.set) =
-  let used = Hashtbl.create 32 in
   let basics = Candidate.basics set in
-  Array.iteri
-    (fun stmt_index (item : Workload.item) ->
-      let config =
-        List.filter (fun (c : Candidate.t) -> Int_set.mem stmt_index c.affected) basics
-      in
-      if config <> [] then begin
-        Catalog.set_virtual_indexes t.catalog
-          (List.map (fun (c : Candidate.t) -> c.Candidate.def) config);
-        t.evaluations <- t.evaluations + 1;
-        let plan = Optimizer.optimize ~mode:Optimizer.Evaluate t.catalog item.statement in
-        List.iter
-          (fun d -> Hashtbl.replace used (Xia_index.Index_def.logical_key d) ())
-          (Plan.indexes_used plan)
-      end)
-    t.items;
-  Catalog.clear_virtual_indexes t.catalog;
+  let per_stmt =
+    Par.map ~domains:t.domains
+      (fun (stmt_index, (item : Workload.item)) ->
+        let config =
+          List.filter (fun (c : Candidate.t) -> Int_set.mem stmt_index c.affected) basics
+        in
+        if config = [] then None
+        else
+          let defs = List.map (fun (c : Candidate.t) -> c.Candidate.def) config in
+          let plan =
+            Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:defs
+              t.catalog item.statement
+          in
+          Some (List.map Xia_index.Index_def.logical_key (Plan.indexes_used plan)))
+      (Array.mapi (fun i item -> (i, item)) t.items)
+  in
+  let used = Hashtbl.create 32 in
+  let evals = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some keys ->
+          incr evals;
+          List.iter (fun k -> Hashtbl.replace used k ()) keys)
+    per_stmt;
+  count_evaluations t !evals;
   used
 
 (* Is this candidate worth keeping in a search space?  Positive individual
@@ -218,13 +302,15 @@ let useful_ids t set =
   | Some ids -> ids
   | None ->
       let used = used_in_plans t set in
+      let cands = Array.of_list (Candidate.to_list set) in
+      let indiv = Par.map ~domains:t.domains (individual_benefit t) cands in
       let ids = Hashtbl.create 64 in
-      List.iter
-        (fun (c : Candidate.t) ->
+      Array.iteri
+        (fun i (c : Candidate.t) ->
           if
-            individual_benefit t c > 0.0
+            indiv.(i) > 0.0
             || Hashtbl.mem used (Xia_index.Index_def.logical_key c.def)
           then Hashtbl.replace ids c.id ())
-        (Candidate.to_list set);
+        cands;
       t.useful_memo <- Some ids;
       ids

@@ -1,6 +1,12 @@
 (** Benefit evaluation with the paper's optimizer-call-minimizing machinery:
     affected sets, sub-configurations and a sub-configuration cache
-    (Sections III and VI-C). *)
+    (Sections III and VI-C).
+
+    What-if calls pass the virtual configuration to the optimizer explicitly,
+    so evaluation never mutates the catalog and independent evaluations run
+    concurrently over up to [domains] domains.  Results (and the
+    [evaluations] / [cache_hits] counters) are deterministic — identical for
+    every [domains] value. *)
 
 module Catalog = Xia_index.Catalog
 module Workload = Xia_workload.Workload
@@ -11,13 +17,19 @@ type t = {
   base_costs : float array;
   base_affected : float array;
   cache : (string, float) Hashtbl.t;
+  domains : int;  (** parallelism for what-if fan-out *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  pending : (string, unit) Hashtbl.t;
   mutable evaluations : int;  (** optimizer calls made through this evaluator *)
   mutable cache_hits : int;
   mutable useful_memo : (int, unit) Hashtbl.t option;
 }
 
-(** Build an evaluator: costs every statement once with no indexes. *)
-val create : Catalog.t -> Workload.t -> t
+(** Build an evaluator: costs every statement once with no indexes.
+    [domains] (default [Par.default_domains ()]) bounds the parallel what-if
+    fan-out; any value yields bit-for-bit identical results. *)
+val create : ?domains:int -> Catalog.t -> Workload.t -> t
 
 (** Frequency-weighted workload cost with no indexes. *)
 val base_workload_cost : t -> float

@@ -40,15 +40,18 @@ let evaluate_configuration catalog (workload : Workload.t) defs =
         acc + (Index_stats.derive_cached (Catalog.stats catalog d.table) d).Index_stats.size_bytes)
       0 defs
   in
-  Catalog.clear_virtual_indexes catalog;
   let base_plans =
-    List.map (fun (item : Workload.item) -> Optimizer.optimize catalog item.statement) workload
+    List.map
+      (fun (item : Workload.item) ->
+        Optimizer.optimize ~virtual_config:[] catalog item.statement)
+      workload
   in
-  Catalog.set_virtual_indexes catalog defs;
   let new_plans =
-    List.map (fun (item : Workload.item) -> Optimizer.optimize catalog item.statement) workload
+    List.map
+      (fun (item : Workload.item) ->
+        Optimizer.optimize ~virtual_config:defs catalog item.statement)
+      workload
   in
-  Catalog.clear_virtual_indexes catalog;
   let statements =
     List.map2
       (fun (item : Workload.item) (base_plan, new_plan) ->

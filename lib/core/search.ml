@@ -39,11 +39,18 @@ let density ev benefit_of c =
   benefit_of c /. s
 
 (* Candidates ordered by decreasing benefit density (deterministic
-   tie-breaking on specificity then key). *)
+   tie-breaking on specificity then key).  Densities are precomputed — in
+   parallel across the evaluator's domains — rather than recomputed inside
+   the comparator. *)
 let by_density ev benefit_of cands =
+  let arr = Array.of_list cands in
+  let scores = Par.map ~domains:ev.Benefit.domains (density ev benefit_of) arr in
+  let score = Hashtbl.create (Array.length arr) in
+  Array.iteri (fun i (c : Candidate.t) -> Hashtbl.replace score c.id scores.(i)) arr;
+  let density_of (c : Candidate.t) = Hashtbl.find score c.id in
   List.sort
     (fun a b ->
-      match compare (density ev benefit_of b) (density ev benefit_of a) with
+      match compare (density_of b) (density_of a) with
       | 0 -> (
           match
             compare
@@ -65,7 +72,7 @@ let finalize ~algorithm ev ~calls_before ~t0 config =
     size = config_size ev config;
     benefit = Benefit.benefit ev config;
     optimizer_calls = ev.Benefit.evaluations - calls_before;
-    elapsed = Sys.time () -. t0;
+    elapsed = Unix.gettimeofday () -. t0;
   }
 
 (* -------- Plain greedy -------- *)
@@ -77,7 +84,7 @@ let pool ev set =
   List.filter (fun (c : Candidate.t) -> Hashtbl.mem useful c.id) (Candidate.to_list set)
 
 let greedy ev set ~budget =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let calls_before = ev.Benefit.evaluations in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let config, _ =
@@ -98,7 +105,7 @@ let covered_basics set (c : Candidate.t) =
     (Candidate.basics set)
 
 let greedy_heuristics ?(beta = beta_default) ev set ~budget =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let calls_before = ev.Benefit.evaluations in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let covered = ref Int_set.empty in
@@ -209,7 +216,7 @@ let greedy_fallback ev ~budget config =
   List.rev kept
 
 let top_down ?(variant = Full) ev set ~budget =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let calls_before = ev.Benefit.evaluations in
   let algorithm =
     match variant with Lite -> "top-down lite" | Full -> "top-down full"
@@ -235,9 +242,11 @@ let top_down ?(variant = Full) ev set ~budget =
     let replaceable =
       List.filter (fun c -> children_in_space c <> []) !config
     in
-    (* Score each replaceable general index by ΔB/ΔC. *)
+    (* Score each replaceable general index by ΔB/ΔC.  The scores are
+       independent (the configuration is fixed for the round), so they are
+       computed in parallel; order is preserved by the positional map. *)
     let scored =
-      List.filter_map
+      Par.map_list ~domains:ev.Benefit.domains
         (fun (g : Candidate.t) ->
           let children =
             List.filter
@@ -266,6 +275,7 @@ let top_down ?(variant = Full) ev set ~budget =
             in
             Some (g, children, delta_b, delta_c))
         replaceable
+      |> List.filter_map Fun.id
     in
     match scored with
     | [] -> continue_ := false
@@ -300,7 +310,7 @@ let top_down_full ev set ~budget = top_down ~variant:Full ev set ~budget
 (* -------- Dynamic programming (exact knapsack, no interaction) -------- *)
 
 let dynamic_programming ev set ~budget =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let calls_before = ev.Benefit.evaluations in
   let items =
     List.filter (fun c -> candidate_size ev c <= budget) (pool ev set)
@@ -310,11 +320,15 @@ let dynamic_programming ev set ~budget =
   if n = 0 then finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 []
   else begin
     (* Size granularity keeps the table small; round item sizes UP so the
-       budget is never exceeded. *)
+       budget is never exceeded.  [units] is clamped to at least 1: every
+       item here fits the budget, yet [budget / unit] is 0 whenever the
+       budget is below one granularity unit, which used to make the knapsack
+       capacity zero and silently return the empty configuration. *)
     let unit = max Xia_storage.Cost_params.page_size (budget / 2048) in
-    let units = budget / unit in
+    let units = max 1 (budget / unit) in
     let w_of i = (candidate_size ev items.(i) + unit - 1) / unit in
-    let v_of i = Benefit.individual_benefit ev items.(i) in
+    let values = Par.map ~domains:ev.Benefit.domains (Benefit.individual_benefit ev) items in
+    let v_of i = values.(i) in
     let value = Array.make (units + 1) 0.0 in
     let take = Array.make_matrix n (units + 1) false in
     for i = 0 to n - 1 do
@@ -344,7 +358,7 @@ let dynamic_programming ev set ~budget =
 (* Indexes for every indexable XPath expression in the workload: all basic
    candidates.  The best possible configuration for a query-only workload. *)
 let all_index ev set =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let calls_before = ev.Benefit.evaluations in
   finalize ~algorithm:"all index" ev ~calls_before ~t0 (Candidate.basics set)
 

@@ -60,6 +60,12 @@ let stats t name =
   | Some s when s.Path_stats.generation = Doc_store.generation tbl.store -> s
   | Some _ | None -> runstats t name
 
+(* Force-collect any missing or stale statistics.  The parallel what-if
+   evaluator calls this before fanning out so that concurrent [stats] reads
+   never hit the lazy collection path (a write to [tbl.stats]) from several
+   domains at once. *)
+let warm_stats t = List.iter (fun name -> ignore (stats t name)) (table_names t)
+
 let create_index t (def : Index_def.t) =
   let tbl = table_exn t def.table in
   if
@@ -110,8 +116,11 @@ let refresh_indexes t =
 
 let real_indexes t name = (table_exn t name).real_indexes
 
-(* Virtual index management: the advisor installs a configuration, runs the
-   optimizer in an advisor mode, then clears it. *)
+(* Virtual index management.  Legacy mutation-based interface: the optimizer
+   now takes the virtual configuration as an explicit [?virtual_config]
+   argument, which is reentrant and safe under parallel evaluation; this
+   catalog-wide mutable configuration remains only as a fallback for callers
+   that install a configuration once and run many statements against it. *)
 let set_virtual_indexes t defs =
   Hashtbl.iter (fun _ tbl -> tbl.virtual_indexes <- []) t.tables;
   List.iter

@@ -36,6 +36,11 @@ val runstats_all : t -> unit
 (** Cached statistics, recollected automatically when the table changed. *)
 val stats : t -> string -> Path_stats.t
 
+(** Force-collect any missing or stale statistics for every table.  Call
+    before evaluating from several domains concurrently: it guarantees later
+    [stats] reads are pure lookups. *)
+val warm_stats : t -> unit
+
 (** Materialize an index. @raise Invalid_argument on logical duplicates. *)
 val create_index : t -> Index_def.t -> Physical_index.t
 
@@ -49,7 +54,10 @@ val refresh_indexes : t -> unit
 
 val real_indexes : t -> string -> Physical_index.t list
 
-(** Install a virtual-index configuration (replaces the previous one). *)
+(** Install a virtual-index configuration (replaces the previous one).
+    Legacy interface: prefer passing [?virtual_config] to
+    [Optimizer.optimize], which is reentrant and does not mutate the
+    catalog. *)
 val set_virtual_indexes : t -> Index_def.t list -> unit
 
 val clear_virtual_indexes : t -> unit

@@ -106,15 +106,20 @@ let derive (stats : Path_stats.t) (def : Index_def.t) =
     }
   end
 
-let derivation_cache : (string * int, t) Hashtbl.t = Hashtbl.create 256
+(* Domain-local memo: derivation is pure, and the advisor's parallel what-if
+   evaluator derives statistics from several domains at once.  A per-domain
+   cache keeps the hot path lock-free. *)
+let derivation_cache_key : (string * int, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let derive_cached stats def =
+  let cache = Domain.DLS.get derivation_cache_key in
   let k = (Index_def.logical_key def, stats.Path_stats.generation) in
-  match Hashtbl.find_opt derivation_cache k with
+  match Hashtbl.find_opt cache k with
   | Some s -> s
   | None ->
       let s = derive stats def in
-      Hashtbl.add derivation_cache k s;
+      Hashtbl.add cache k s;
       s
 
 let pp ppf s =

@@ -26,27 +26,42 @@ type mode =
   | Normal    (* real indexes *)
   | Evaluate  (* virtual indexes: the advisor's Evaluate Indexes mode *)
 
+(* Counters are atomic: the advisor's parallel what-if evaluator optimizes
+   statements from several domains at once. *)
 type counters = {
-  mutable optimize_calls : int;
-  mutable enumerate_calls : int;
-  mutable plans_considered : int;
+  optimize_calls : int Atomic.t;
+  enumerate_calls : int Atomic.t;
+  plans_considered : int Atomic.t;
 }
 
-let counters = { optimize_calls = 0; enumerate_calls = 0; plans_considered = 0 }
+let counters =
+  { optimize_calls = Atomic.make 0; enumerate_calls = Atomic.make 0;
+    plans_considered = Atomic.make 0 }
 
 let reset_counters () =
-  counters.optimize_calls <- 0;
-  counters.enumerate_calls <- 0;
-  counters.plans_considered <- 0
+  Atomic.set counters.optimize_calls 0;
+  Atomic.set counters.enumerate_calls 0;
+  Atomic.set counters.plans_considered 0
 
-(* Indexes visible to the optimizer in the given mode. *)
-let visible_indexes catalog mode table =
+(* Indexes visible to the optimizer in the given mode.  In [Evaluate] mode
+   the virtual configuration is normally passed explicitly ([virtual_config]),
+   which is reentrant: no catalog state is touched, so any number of
+   evaluations can run concurrently.  Without it we fall back to the
+   catalog's legacy mutable virtual-index configuration. *)
+let visible_indexes ?virtual_config catalog mode table =
   match mode with
   | Normal ->
       List.map
         (fun pi -> (Xia_index.Physical_index.def pi, false))
         (Catalog.real_indexes catalog table)
-  | Evaluate -> List.map (fun d -> (d, true)) (Catalog.virtual_indexes catalog table)
+  | Evaluate ->
+      let defs =
+        match virtual_config with
+        | Some defs ->
+            List.filter (fun (d : Index_def.t) -> String.equal d.table table) defs
+        | None -> Catalog.virtual_indexes catalog table
+      in
+      List.map (fun d -> (d, true)) defs
 
 (* Index matching: can this index serve this access?  Same table, same data
    type, and the index pattern covers the access pattern. *)
@@ -142,15 +157,15 @@ let est_result_docs tstats (info : Rewriter.binding_info) =
   float_of_int tstats.Path_stats.doc_count
   *. Selectivity.combined_doc_fraction tstats info.filters
 
-let plan_binding catalog mode (info : Rewriter.binding_info) =
+let plan_binding ?virtual_config catalog mode (info : Rewriter.binding_info) =
   let table = info.source.Ast.table in
   let tstats = Catalog.stats catalog table in
   let store = Catalog.store catalog table in
-  let indexes = visible_indexes catalog mode table in
+  let indexes = visible_indexes ?virtual_config catalog mode table in
   let est_docs = est_result_docs tstats info in
   let result_cpu = est_docs *. C.cpu_per_result in
   let scan_cost = doc_scan_cost tstats store info +. result_cpu in
-  counters.plans_considered <- counters.plans_considered + 1;
+  Atomic.incr counters.plans_considered;
   (* Best matching index per access. *)
   let best_choice_for (access : Rewriter.access) =
     let applicable =
@@ -166,7 +181,7 @@ let plan_binding catalog mode (info : Rewriter.binding_info) =
     List.fold_left
       (fun acc c ->
         let cost = index_scan_cost tstats info c in
-        counters.plans_considered <- counters.plans_considered + 1;
+        Atomic.incr counters.plans_considered;
         match acc with
         | Some (_, best_cost) when best_cost <= cost -> acc
         | Some _ | None -> Some (c, cost))
@@ -185,7 +200,7 @@ let plan_binding catalog mode (info : Rewriter.binding_info) =
             let choices = List.map best_choice_for disjuncts in
             if List.for_all Option.is_some choices then begin
               let choices = List.map (fun o -> fst (Option.get o)) choices in
-              counters.plans_considered <- counters.plans_considered + 1;
+              Atomic.incr counters.plans_considered;
               Some (Plan.Index_or choices, index_or_cost tstats info choices)
             end
             else None)
@@ -207,7 +222,7 @@ let plan_binding catalog mode (info : Rewriter.binding_info) =
   let and_plans =
     List.map
       (fun (c, c') ->
-        counters.plans_considered <- counters.plans_considered + 1;
+        Atomic.incr counters.plans_considered;
         let cost = index_and_cost tstats info [ c; c' ] +. result_cpu in
         (Plan.Index_and [ c; c' ], cost))
       (pairs scan_winners)
@@ -232,10 +247,10 @@ let modify_cost_per_doc tstats ~factor =
   (avg_doc_pages tstats *. C.sequential_page_cost *. factor)
   +. (avg_doc_elements tstats *. C.cpu_per_node)
 
-let optimize ?(mode = Evaluate) catalog (stmt : Ast.statement) =
-  counters.optimize_calls <- counters.optimize_calls + 1;
+let optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
+  Atomic.incr counters.optimize_calls;
   let bindings = Rewriter.bindings_of_statement stmt in
-  let planned = List.map (plan_binding catalog mode) bindings in
+  let planned = List.map (plan_binding ?virtual_config catalog mode) bindings in
   let locate_cost = List.fold_left (fun acc b -> acc +. b.Plan.est_cost) 0.0 planned in
   match stmt with
   | Ast.Select _ ->
@@ -258,7 +273,8 @@ let optimize ?(mode = Evaluate) catalog (stmt : Ast.statement) =
       let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:2.0) in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
 
-let statement_cost ?mode catalog stmt = (optimize ?mode catalog stmt).Plan.total_cost
+let statement_cost ?mode ?virtual_config catalog stmt =
+  (optimize ?mode ?virtual_config catalog stmt).Plan.total_cost
 
 (* The Enumerate Indexes mode.  A universal virtual index (for each data type
    and node kind) is put in place for every table the statement touches; the
@@ -277,7 +293,7 @@ let universal_defs table =
   ]
 
 let enumerate_indexes _catalog (stmt : Ast.statement) =
-  counters.enumerate_calls <- counters.enumerate_calls + 1;
+  Atomic.incr counters.enumerate_calls;
   let universals = List.concat_map universal_defs (Ast.tables stmt) in
   let accesses = Rewriter.indexable_accesses stmt in
   let matched =

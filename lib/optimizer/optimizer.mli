@@ -11,13 +11,14 @@ type mode =
   | Evaluate  (** plan over the catalog's virtual-index configuration *)
 
 type counters = {
-  mutable optimize_calls : int;
-  mutable enumerate_calls : int;
-  mutable plans_considered : int;
+  optimize_calls : int Atomic.t;
+  enumerate_calls : int Atomic.t;
+  plans_considered : int Atomic.t;
 }
 
 (** Global optimizer-call accounting (the quantity the paper's Section VI-C
-    minimizes). *)
+    minimizes).  Atomic: the parallel what-if evaluator optimizes from
+    several domains at once. *)
 val counters : counters
 
 val reset_counters : unit -> unit
@@ -26,10 +27,19 @@ val reset_counters : unit -> unit
     the index pattern covers the access pattern. *)
 val index_matches : Index_def.t -> Xia_query.Rewriter.access -> bool
 
-(** Optimize a statement; default mode is [Evaluate]. *)
-val optimize : ?mode:mode -> Catalog.t -> Ast.statement -> Plan.t
+(** Optimize a statement; default mode is [Evaluate].
 
-val statement_cost : ?mode:mode -> Catalog.t -> Ast.statement -> float
+    [virtual_config] is the virtual-index configuration for [Evaluate] mode,
+    passed explicitly: the call is then reentrant — it touches no catalog
+    state, so any number of what-if evaluations (including concurrent ones)
+    can be in flight.  When omitted, [Evaluate] mode falls back to the
+    catalog's legacy mutable virtual-index configuration
+    ([Catalog.set_virtual_indexes]).  [Normal] mode ignores it. *)
+val optimize :
+  ?mode:mode -> ?virtual_config:Index_def.t list -> Catalog.t -> Ast.statement -> Plan.t
+
+val statement_cost :
+  ?mode:mode -> ?virtual_config:Index_def.t list -> Catalog.t -> Ast.statement -> float
 
 (** Enumerate Indexes mode: the statement's basic candidate patterns, i.e.
     every access pattern matched against a universal virtual index. *)

@@ -76,30 +76,38 @@ let has_descendant p = List.exists (fun s -> s.axis = Ast.Descendant) p
    fixed label sequence. *)
 let is_general_shape p = has_wildcard p || has_descendant p
 
-let nfa_cache : (string, Nfa.t) Hashtbl.t = Hashtbl.create 256
+(* Memo caches are domain-local: the advisor's parallel what-if evaluator
+   calls [covers]/[accepts] from several domains at once, and a per-domain
+   cache keeps the hot path lock-free.  Results are pure, so duplicating
+   entries across domains is only a (small) memory cost. *)
+let nfa_cache_key : (string, Nfa.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
 
 let nfa_of p =
+  let cache = Domain.DLS.get nfa_cache_key in
   let k = key p in
-  match Hashtbl.find_opt nfa_cache k with
+  match Hashtbl.find_opt cache k with
   | Some n -> n
   | None ->
       let n = Nfa.of_steps (List.map (fun s -> (s.axis, s.test)) p) in
-      Hashtbl.add nfa_cache k n;
+      Hashtbl.add cache k n;
       n
 
 let accepts p label_path = Nfa.accepts (nfa_of p) label_path
 
-let covers_cache : (string * string, bool) Hashtbl.t = Hashtbl.create 1024
+let covers_cache_key : (string * string, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
 
 (* [covers ~general ~specific]: every node reachable by [specific] is also
    reachable by [general] (in any document). *)
 let covers ~general ~specific =
+  let cache = Domain.DLS.get covers_cache_key in
   let k = (key general, key specific) in
-  match Hashtbl.find_opt covers_cache k with
+  match Hashtbl.find_opt cache k with
   | Some b -> b
   | None ->
       let b = Nfa.contained (nfa_of specific) (nfa_of general) in
-      Hashtbl.add covers_cache k b;
+      Hashtbl.add cache k b;
       b
 
 let equivalent a b = covers ~general:a ~specific:b && covers ~general:b ~specific:a
