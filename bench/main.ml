@@ -408,14 +408,14 @@ let hist () =
     (fun (label, q, truth) ->
       let stmt = Xia_query.Parser.parse_statement_exn q in
       let est flag =
-        let saved = !Xia_optimizer.Selectivity.use_histograms in
-        Xia_optimizer.Selectivity.use_histograms := flag;
+        let saved = Atomic.get Xia_optimizer.Selectivity.use_histograms in
+        Atomic.set Xia_optimizer.Selectivity.use_histograms flag;
         let r =
           match (Optimizer.optimize catalog stmt).Xia_optimizer.Plan.bindings with
           | [ b ] -> b.Xia_optimizer.Plan.est_docs
           | _ -> 0.0
         in
-        Xia_optimizer.Selectivity.use_histograms := saved;
+        Atomic.set Xia_optimizer.Selectivity.use_histograms saved;
         r
       in
       Format.printf "%14s | %10d | %12.0f | %12.0f@." label truth (est true) (est false))

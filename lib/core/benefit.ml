@@ -41,7 +41,9 @@ type t = {
   items : Workload.item array;
   base_costs : float array;       (* per statement, no indexes *)
   base_affected : float array;    (* per statement, estimated documents modified *)
-  cache : (string, float) Hashtbl.t;  (* sub-configuration -> cost delta term *)
+  cache : (string, (float, exn) result) Hashtbl.t;
+      (* sub-configuration -> cost delta term, or the exception its
+         evaluation raised (re-raised for every later request) *)
   domains : int;                  (* parallelism for what-if fan-out *)
   lock : Mutex.t;                 (* guards cache/pending/counters *)
   cond : Condition.t;             (* signaled when a pending key resolves *)
@@ -102,6 +104,9 @@ let base_workload_cost t =
 (* Cost of the whole workload under a configuration (one Evaluate pass per
    statement; captures all interactions).  Used for final reporting. *)
 let workload_cost t (config : Candidate.t list) =
+  (* Re-warm in case the store changed since [create]: concurrent [stats]
+     reads below must never hit the lazy collection path. *)
+  Catalog.warm_stats t.catalog;
   let defs = List.map (fun c -> c.Candidate.def) config in
   let costs =
     Par.map ~domains:t.domains
@@ -175,15 +180,23 @@ let sub_config_key (sub : Candidate.t list) =
 
    Compute-once cache: concurrent callers asking for the same key block until
    the first caller publishes the result, then count a cache hit — so the
-   [evaluations] / [cache_hits] totals are identical to a sequential run. *)
+   [evaluations] / [cache_hits] totals are identical to a sequential run.
+   Failures are published too: later requests re-raise the cached exception
+   without recomputing (and without touching either counter, matching the
+   sequential run, where a failed evaluation never publishes anything). *)
 let sub_config_delta t (sub : Candidate.t list) =
   let key = sub_config_key sub in
   let rec acquire () =
     (* t.lock held *)
     match Hashtbl.find_opt t.cache key with
-    | Some d ->
+    | Some (Ok d) ->
         t.cache_hits <- t.cache_hits + 1;
         `Hit d
+    | Some (Error e) ->
+        (* A sequential run would recompute and raise again without touching
+           either counter (a failed evaluation never publishes), so re-raising
+           from the cache counts neither a hit nor any evaluations. *)
+        `Raise e
     | None ->
         if Hashtbl.mem t.pending key then begin
           Condition.wait t.cond t.lock;
@@ -199,15 +212,13 @@ let sub_config_delta t (sub : Candidate.t list) =
   Mutex.unlock t.lock;
   match decision with
   | `Hit d -> d
+  | `Raise e -> raise e
   | `Compute ->
-      let publish outcome =
+      let publish ?(evals = 0) outcome =
         Mutex.lock t.lock;
         Hashtbl.remove t.pending key;
-        (match outcome with
-        | Some (delta, evals) ->
-            Hashtbl.replace t.cache key delta;
-            t.evaluations <- t.evaluations + evals
-        | None -> ());
+        Hashtbl.replace t.cache key outcome;
+        t.evaluations <- t.evaluations + evals;
         Condition.broadcast t.cond;
         Mutex.unlock t.lock
       in
@@ -237,11 +248,12 @@ let sub_config_delta t (sub : Candidate.t list) =
                acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
              0.0 stmts costs
          in
-         publish (Some (delta, List.length stmts));
+         publish ~evals:(List.length stmts) (Ok delta);
          delta
        with e ->
-         (* Unblock waiters; they will retry and recompute. *)
-         publish None;
+         (* Cache the failure: waiters (and any later request for this key)
+            re-raise the same exception instead of recomputing. *)
+         publish (Error e);
          raise e)
 
 (* The paper's Benefit(x1..xn; W).  Independent sub-configurations are
@@ -250,6 +262,7 @@ let benefit t (config : Candidate.t list) =
   match config with
   | [] -> 0.0
   | _ ->
+      Catalog.warm_stats t.catalog;
       let subs = sub_configurations config in
       let deltas = Par.map_list ~domains:t.domains (sub_config_delta t) subs in
       let delta = List.fold_left ( +. ) 0.0 deltas in
@@ -266,6 +279,7 @@ let individual_benefit t c = benefit t [ c ]
    preprocessing criterion — drop indexes "not being used in optimizer
    plans" — is exactly this check. *)
 let used_in_plans t (set : Candidate.set) =
+  Catalog.warm_stats t.catalog;
   let basics = Candidate.basics set in
   let per_stmt =
     Par.map ~domains:t.domains

@@ -16,7 +16,7 @@ type t = {
   items : Workload.item array;
   base_costs : float array;
   base_affected : float array;
-  cache : (string, float) Hashtbl.t;
+  cache : (string, (float, exn) result) Hashtbl.t;
   domains : int;  (** parallelism for what-if fan-out *)
   lock : Mutex.t;
   cond : Condition.t;

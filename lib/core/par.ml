@@ -140,9 +140,18 @@ let map ~domains f arr =
       end
     in
     let helpers = min (domains - 1) (n - 1) in
+    (* Helper jobs reach the batch through this slot, not by capturing [work]
+       directly.  When the batch completes the slot is cleared, so jobs still
+       sitting unclaimed in the pool queue degrade to no-ops that hold no
+       reference to [arr]/[results] — an idle pool never keeps a finished
+       batch's data alive. *)
+    let slot : (unit -> unit) option Atomic.t = Atomic.make (Some work) in
+    let helper_job () =
+      match Atomic.get slot with Some w -> w () | None -> ()
+    in
     if pool.workers <> [] then
       for _ = 1 to helpers do
-        submit pool work
+        submit pool helper_job
       done;
     work ();
     Mutex.lock fin_lock;
@@ -150,6 +159,7 @@ let map ~domains f arr =
       Condition.wait fin_cond fin_lock
     done;
     Mutex.unlock fin_lock;
+    Atomic.set slot None;
     (match Atomic.get error with Some (_, e) -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end

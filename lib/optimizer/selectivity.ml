@@ -34,8 +34,10 @@ type path_view = {
   hist : Xia_storage.Histogram.t option;
 }
 
-(* Runtime toggle, for the histogram-accuracy ablation bench. *)
-let use_histograms = ref true
+(* Runtime toggle, for the histogram-accuracy ablation bench.  Atomic: it is
+   read from every worker domain during a parallel evaluation, and the bench
+   flips it between runs. *)
+let use_histograms = Atomic.make true
 
 let path_view dtype (info : Path_stats.path_info) =
   match dtype with
@@ -105,7 +107,8 @@ let path_selectivity (v : path_view) (condition : Xia_query.Rewriter.condition) 
           else begin
             let below =
               match v.hist with
-              | Some h when !use_histograms -> Xia_storage.Histogram.fraction_below h x
+              | Some h when Atomic.get use_histograms ->
+                  Xia_storage.Histogram.fraction_below h x
               | Some _ | None ->
                   (* uniform-distribution fallback *)
                   clamp ((x -. v.min_num) /. (v.max_num -. v.min_num))

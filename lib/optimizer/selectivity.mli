@@ -27,8 +27,10 @@ type path_view = {
 
 (** When set (the default), numeric range selectivities use the per-path
     histograms collected by RUNSTATS instead of a uniform-range assumption.
-    Exposed for the histogram-accuracy ablation. *)
-val use_histograms : bool ref
+    Exposed for the histogram-accuracy ablation.  Atomic because worker
+    domains read it during parallel evaluation; toggle it only between
+    evaluations, not while one is in flight. *)
+val use_histograms : bool Atomic.t
 
 (** Damping applied to string-equality matches from paths outside the
     predicate's own pattern (string value domains rarely overlap). *)

@@ -151,18 +151,23 @@ let path_count t = Hashtbl.length t.paths
 let all_paths t = List.map (fun info -> info.path) t.ordered
 
 (* Paths covered by a linear index pattern.  Memoized per pattern key: the
-   stats object is immutable once collected. *)
-let matching_cache : (string * string * int, path_info list) Hashtbl.t = Hashtbl.create 64
+   stats object is immutable once collected.  The cache is domain-local
+   ([Domain.DLS]) because [matching] sits on the parallel what-if path and is
+   called from several domains at once; a per-domain table keeps it lock-free
+   at the cost of duplicating entries across domains. *)
+let matching_cache_key : (string * string * int, path_info list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 let matching t pattern =
+  let cache = Domain.DLS.get matching_cache_key in
   let k = (t.table, Xia_xpath.Pattern.key pattern, t.generation) in
-  match Hashtbl.find_opt matching_cache k with
+  match Hashtbl.find_opt cache k with
   | Some l -> l
   | None ->
       let l =
         List.filter (fun info -> Xia_xpath.Pattern.accepts pattern info.path) t.ordered
       in
-      Hashtbl.add matching_cache k l;
+      Hashtbl.add cache k l;
       l
 
 let avg_value_bytes info =
