@@ -1,0 +1,68 @@
+(* xia_lint — domain-safety and hygiene analyzer for this repository.
+
+   Usage: xia_lint [--json] [--allow-file FILE] [--whatif-modules a,b] PATH...
+
+   Lints every .ml under the given paths (default: lib) with the check
+   catalog in Xia_analysis.Checks.  Exit codes: 0 clean, 1 findings,
+   2 usage/parse/allow-file errors. *)
+
+module Lint = Xia_analysis.Lint
+module Checks = Xia_analysis.Checks
+module Finding = Xia_analysis.Finding
+module Suppress = Xia_analysis.Suppress
+
+let () =
+  let json = ref false in
+  let allow_file = ref "" in
+  let whatif = ref "" in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ( "--allow-file",
+        Arg.Set_string allow_file,
+        "FILE per-site suppressions (ID path[:line] -- reason)" );
+      ( "--whatif-modules",
+        Arg.Set_string whatif,
+        "NAMES comma-separated module basenames subject to D003 (default: \
+         benefit,optimizer)" );
+    ]
+  in
+  let usage = "xia_lint [--json] [--allow-file FILE] PATH..." in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let config =
+    if !whatif = "" then Checks.default_config
+    else
+      {
+        Checks.whatif_modules =
+          String.split_on_char ',' !whatif
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "");
+      }
+  in
+  let allow =
+    if !allow_file = "" then []
+    else
+      match Suppress.load_allow_file !allow_file with
+      | Ok entries -> entries
+      | Error msgs ->
+          List.iter (Printf.eprintf "xia_lint: %s\n") msgs;
+          exit 2
+  in
+  let report = Lint.lint_paths ~config ~allow paths in
+  if report.Lint.errors <> [] then begin
+    List.iter
+      (fun (e : Lint.error) -> Printf.eprintf "xia_lint: %s: %s\n" e.path e.message)
+      report.Lint.errors;
+    exit 2
+  end;
+  if !json then print_string (Finding.list_to_json report.Lint.findings)
+  else begin
+    List.iter (fun f -> print_endline (Finding.to_string f)) report.Lint.findings;
+    if report.Lint.findings <> [] then
+      Printf.eprintf "xia_lint: %d finding(s), %d suppressed\n"
+        (List.length report.Lint.findings)
+        (List.length report.Lint.suppressed)
+  end;
+  exit (if report.Lint.findings = [] then 0 else 1)

@@ -1,0 +1,405 @@
+(* The check catalog, implemented over the untyped parsetree
+   (compiler-libs [Parse] + [Ast_iterator]).  Every check has a stable ID:
+
+   D001  module-toplevel mutable state in lib/ not wrapped in
+         Atomic/Domain.DLS/Mutex/Lazy — the PR-1 data-race bug class.
+   D002  [Sys.time] used for timing: it measures process CPU time, which
+         diverges from wall-clock the moment work runs on several domains.
+   D003  catalog/store mutation reachable from the what-if evaluation
+         modules (call-graph approximation), enforcing the reentrancy
+         contract: a what-if evaluation must never mutate shared state.
+   H001  a lib/ module without an .mli interface.
+   H002  [failwith]/[assert false] without a [(* lint: reason *)] note.
+
+   The analysis is syntactic and unscoped by design: it sees [Longident]
+   paths, not resolved values, so a module alias that renames [Hashtbl] can
+   evade it and a local [let ref = ...] can false-positive.  Neither occurs
+   in this codebase; suppressions cover intentional exceptions. *)
+
+open Parsetree
+
+type config = {
+  whatif_modules : string list;
+      (* lowercase module basenames subject to D003 *)
+}
+
+let default_config = { whatif_modules = [ "benefit"; "optimizer" ] }
+
+let has_suffix ~suffix path =
+  let rec strip k l = if k <= 0 then Some l else match l with [] -> None | _ :: t -> strip (k - 1) t in
+  match strip (List.length path - List.length suffix) path with
+  | Some tail -> List.equal String.equal tail suffix
+  | None -> false
+
+let allow id attrs = List.mem id (Suppress.allow_ids attrs)
+
+(* ---------------------------------------------------------------- D001 -- *)
+
+(* Field names declared [mutable] anywhere in this compilation unit.  The
+   parsetree carries no type information, so this is the file-local
+   approximation of "record literal with mutable fields". *)
+let mutable_field_names structure =
+  let fields = Hashtbl.create 16 in
+  let type_declaration _it (td : type_declaration) =
+    (match td.ptype_kind with
+    | Ptype_record labels ->
+        List.iter
+          (fun (ld : label_declaration) ->
+            if ld.pld_mutable = Asttypes.Mutable then
+              Hashtbl.replace fields ld.pld_name.txt ())
+          labels
+    | _ -> ());
+    ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun it td ->
+          type_declaration it td;
+          Ast_iterator.default_iterator.type_declaration it td);
+    }
+  in
+  it.structure it structure;
+  fields
+
+(* A binding whose right-hand side evaluates to one of these at module
+   initialization is shared mutable state. *)
+let flagged_allocators =
+  [
+    ([ "Hashtbl"; "create" ], "Hashtbl.create");
+    ([ "Buffer"; "create" ], "Buffer.create");
+    ([ "Queue"; "create" ], "Queue.create");
+    ([ "Stack"; "create" ], "Stack.create");
+    ([ "Weak"; "create" ], "Weak.create");
+    ([ "Dynarray"; "create" ], "Dynarray.create");
+    ([ "Bytes"; "create" ], "Bytes.create");
+    ([ "Bytes"; "make" ], "Bytes.make");
+    ([ "Array"; "make" ], "Array.make");
+    ([ "Array"; "create_float" ], "Array.create_float");
+    ([ "Array"; "init" ], "Array.init");
+    ([ "Array"; "make_matrix" ], "Array.make_matrix");
+  ]
+
+(* Wrappers that make toplevel state domain-safe (or defer it): their
+   arguments may allocate freely. *)
+let safe_wrappers =
+  [
+    [ "Atomic"; "make" ];
+    [ "DLS"; "new_key" ];
+    [ "Mutex"; "create" ];
+    [ "Condition"; "create" ];
+    [ "Semaphore"; "Counting"; "make" ];
+    [ "Semaphore"; "Binary"; "make" ];
+    [ "Lazy"; "from_fun" ];
+    [ "Lazy"; "from_val" ];
+  ]
+
+let d001_message what =
+  Printf.sprintf
+    "module-toplevel mutable state (%s): racy under multiple domains; wrap in \
+     Atomic/Domain.DLS/Mutex/Lazy or allocate per instance"
+    what
+
+(* Classify the right-hand side of a module-toplevel binding.  Descends
+   through wrappers that merely surround the initializer and through data
+   constructors whose payload would still be reachable shared state. *)
+let rec d001_hits mutable_fields acc (e : expression) =
+  if allow "D001" e.pexp_attributes then acc
+  else
+    match e.pexp_desc with
+    (* Deferred allocation: a fresh value per call, not shared state. *)
+    | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ | Pexp_lazy _ -> acc
+    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+    | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) | Pexp_let (_, _, e) ->
+        d001_hits mutable_fields acc e
+    | Pexp_sequence (_, e2) -> d001_hits mutable_fields acc e2
+    | Pexp_ifthenelse (_, t, f) ->
+        let acc = d001_hits mutable_fields acc t in
+        Option.fold ~none:acc ~some:(d001_hits mutable_fields acc) f
+    | Pexp_tuple es -> List.fold_left (d001_hits mutable_fields) acc es
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) ->
+        d001_hits mutable_fields acc e
+    | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _) ->
+        let path = Longident.flatten lid.txt in
+        if List.exists (fun suffix -> has_suffix ~suffix path) safe_wrappers then acc
+        else if List.equal String.equal path [ "ref" ]
+                || List.equal String.equal path [ "Stdlib"; "ref" ]
+        then (e.pexp_loc, "ref") :: acc
+        else (
+          match
+            List.find_opt (fun (suffix, _) -> has_suffix ~suffix path) flagged_allocators
+          with
+          | Some (_, name) -> (e.pexp_loc, name) :: acc
+          | None -> acc)
+    | Pexp_record (fields, base) ->
+        let mutable_labels =
+          List.filter_map
+            (fun ((lid : Longident.t Location.loc), _) ->
+              match List.rev (Longident.flatten lid.txt) with
+              | last :: _ when Hashtbl.mem mutable_fields last -> Some last
+              | _ -> None)
+            fields
+        in
+        if mutable_labels <> [] then
+          ( e.pexp_loc,
+            Printf.sprintf "record literal with mutable field %s"
+              (String.concat ", " mutable_labels) )
+          :: acc
+        else
+          let acc =
+            List.fold_left (fun acc (_, fe) -> d001_hits mutable_fields acc fe) acc fields
+          in
+          Option.fold ~none:acc ~some:(d001_hits mutable_fields acc) base
+    | Pexp_array _ -> (e.pexp_loc, "array literal") :: acc
+    | _ -> acc
+
+(* Walk only module-toplevel bindings (recursing into nested [module M =
+   struct .. end]); allocation inside a function body is per-call and fine. *)
+let check_d001 structure =
+  let mutable_fields = mutable_field_names structure in
+  let findings = ref [] in
+  let emit (loc, what) =
+    findings := Finding.of_location ~id:"D001" ~message:(d001_message what) loc :: !findings
+  in
+  let rec items stack =
+    List.iter (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                if not (allow "D001" vb.pvb_attributes) then
+                  List.iter emit (d001_hits mutable_fields [] vb.pvb_expr))
+              vbs
+        | Pstr_module mb ->
+            if not (allow "D001" mb.pmb_attributes) then module_expr mb.pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter
+              (fun (mb : module_binding) ->
+                if not (allow "D001" mb.pmb_attributes) then module_expr mb.pmb_expr)
+              mbs
+        | Pstr_include incl -> module_expr incl.pincl_mod
+        | _ -> ())
+      stack
+  and module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure s -> items s
+    | Pmod_constraint (me, _) -> module_expr me
+    | _ -> ()
+  in
+  items structure;
+  !findings
+
+(* --------------------------------------------------------- D002 & H002 -- *)
+
+let d002_message =
+  "Sys.time measures process CPU time, not wall-clock; use Unix.gettimeofday \
+   for elapsed time (or suppress for genuinely CPU-bound measurement)"
+
+let h002_message what =
+  Printf.sprintf "%s without a (* lint: reason *) note explaining why it cannot happen" what
+
+let check_exprs ~notes structure =
+  let findings = ref [] in
+  let stack = ref [] in
+  let active id = List.exists (List.mem id) !stack in
+  let check (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident lid when has_suffix ~suffix:[ "Sys"; "time" ] (Longident.flatten lid.txt)
+      ->
+        if not (active "D002") then
+          findings :=
+            Finding.of_location ~id:"D002" ~message:d002_message e.pexp_loc :: !findings
+    | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _)
+      when List.equal String.equal (Longident.flatten lid.txt) [ "failwith" ]
+           || List.equal String.equal (Longident.flatten lid.txt) [ "Stdlib"; "failwith" ]
+      ->
+        let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+        if not (active "H002") && not (Suppress.has_lint_note notes ~line) then
+          findings :=
+            Finding.of_location ~id:"H002" ~message:(h002_message "failwith") e.pexp_loc
+            :: !findings
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ } ->
+        let line = e.pexp_loc.Location.loc_start.Lexing.pos_lnum in
+        if not (active "H002") && not (Suppress.has_lint_note notes ~line) then
+          findings :=
+            Finding.of_location ~id:"H002" ~message:(h002_message "assert false")
+              e.pexp_loc
+            :: !findings
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+          check e;
+          Ast_iterator.default_iterator.expr it e;
+          stack := List.tl !stack);
+      value_binding =
+        (fun it vb ->
+          stack := Suppress.allow_ids vb.pvb_attributes :: !stack;
+          Ast_iterator.default_iterator.value_binding it vb;
+          stack := List.tl !stack);
+    }
+  in
+  it.structure it structure;
+  !findings
+
+(* ---------------------------------------------------------------- D003 -- *)
+
+(* Mutation entry points of the shared catalog/store API.  [warm_stats] is
+   deliberately absent: it is the sanctioned synchronization point what-if
+   entry code calls *before* fanning out (PR 1's contract). *)
+let catalog_mutators =
+  [
+    "add_table"; "create_index"; "drop_index"; "drop_all_indexes";
+    "refresh_indexes"; "set_virtual_indexes"; "clear_virtual_indexes";
+    "runstats"; "runstats_all";
+  ]
+
+let store_mutators = [ "insert"; "delete"; "replace" ]
+
+let mutator_of_path path =
+  match List.rev path with
+  | f :: m :: _ when String.equal m "Catalog" && List.mem f catalog_mutators ->
+      Some ("Catalog." ^ f)
+  | f :: m :: _ when String.equal m "Doc_store" && List.mem f store_mutators ->
+      Some ("Doc_store." ^ f)
+  | _ -> None
+
+let binding_name (vb : value_binding) =
+  let rec of_pat (p : pattern) =
+    match p.ppat_desc with
+    | Ppat_var v -> Some v.txt
+    | Ppat_constraint (p, _) -> of_pat p
+    | _ -> None
+  in
+  of_pat vb.pvb_pat
+
+(* Per-toplevel-binding facts: locally-called toplevel names and direct
+   mutator call sites (post attribute suppression). *)
+let d003_scan_binding ~top_names (vb : value_binding) =
+  let calls = Hashtbl.create 8 in
+  let sites = ref [] in
+  let stack = ref [ Suppress.allow_ids vb.pvb_attributes ] in
+  let active id = List.exists (List.mem id) !stack in
+  let check (e : expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident n; _ } when Hashtbl.mem top_names n ->
+        Hashtbl.replace calls n ()
+    | Pexp_ident lid -> (
+        match mutator_of_path (Longident.flatten lid.txt) with
+        | Some m when not (active "D003") -> sites := (e.pexp_loc, m) :: !sites
+        | _ -> ())
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+          check e;
+          Ast_iterator.default_iterator.expr it e;
+          stack := List.tl !stack);
+    }
+  in
+  it.expr it vb.pvb_expr;
+  (calls, List.rev !sites)
+
+let check_d003 structure =
+  let top_names = Hashtbl.create 32 in
+  let bindings =
+    List.concat_map
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.map
+              (fun vb ->
+                (Option.value ~default:"(module initialization)" (binding_name vb), vb))
+              vbs
+        | _ -> [])
+      structure
+  in
+  List.iter
+    (fun (name, _) ->
+      if name <> "(module initialization)" then Hashtbl.replace top_names name ())
+    bindings;
+  let scanned =
+    List.map (fun (name, vb) -> (name, d003_scan_binding ~top_names vb)) bindings
+  in
+  (* callers.(callee) = toplevel bindings whose body references callee *)
+  let callers = Hashtbl.create 32 in
+  List.iter
+    (fun (name, (calls, _)) ->
+      Hashtbl.iter
+        (fun callee () ->
+          Hashtbl.replace callers callee
+            (name :: Option.value ~default:[] (Hashtbl.find_opt callers callee)))
+        calls)
+    scanned;
+  (* All toplevel bindings from which [name] is transitively reachable. *)
+  let reaching name =
+    let seen = Hashtbl.create 8 in
+    let rec visit n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.replace seen n ();
+        List.iter visit (Option.value ~default:[] (Hashtbl.find_opt callers n))
+      end
+    in
+    visit name;
+    Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort String.compare
+  in
+  List.concat_map
+    (fun (name, (_, sites)) ->
+      List.map
+        (fun (loc, mutator) ->
+          let entries = reaching name in
+          let message =
+            Printf.sprintf
+              "catalog/store mutation %s on a what-if evaluation path (in %s, \
+               reachable from: %s); what-if evaluation must not mutate shared \
+               state — pass ?virtual_config instead"
+              mutator name (String.concat ", " entries)
+          in
+          Finding.of_location ~id:"D003" ~message loc)
+        sites)
+    scanned
+
+(* ---------------------------------------------------------------- H001 -- *)
+
+let module_of_path path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let missing_mli ~mls ~mlis =
+  let have = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace have (Filename.remove_extension p) ()) mlis;
+  List.filter_map
+    (fun ml ->
+      if Hashtbl.mem have (Filename.remove_extension ml) then None
+      else
+        Some
+          (Finding.make ~file:ml ~line:1 ~col:0 ~id:"H001"
+             ~message:
+               (Printf.sprintf
+                  "module %s has no interface: add %si to state the public \
+                   surface" (module_of_path ml) ml)))
+    mls
+
+(* ------------------------------------------------------------- driver -- *)
+
+(* All parsetree-level checks for one compilation unit.  [source] is the raw
+   text (for lint-note comments); H001 is filesystem-level and lives in
+   [missing_mli]. *)
+let check_structure ~config ~filename ~source structure =
+  let notes = Suppress.lint_note_lines source in
+  let basename =
+    String.lowercase_ascii (Filename.remove_extension (Filename.basename filename))
+  in
+  let d003 =
+    if List.mem basename config.whatif_modules then check_d003 structure else []
+  in
+  List.sort Finding.compare
+    (check_d001 structure @ check_exprs ~notes structure @ d003)

@@ -1,0 +1,37 @@
+(** The check catalog.
+
+    - [D001] module-toplevel mutable state not wrapped in
+      Atomic/Domain.DLS/Mutex/Lazy (domain-safety).
+    - [D002] [Sys.time] used for timing (CPU time, not wall-clock).
+    - [D003] catalog/store mutation reachable from the what-if evaluation
+      modules (call-graph approximation of PR 1's reentrancy contract).
+    - [H001] module without an [.mli] interface.
+    - [H002] [failwith]/[assert false] without a [(* lint: reason *)] note.
+
+    The analysis is syntactic: it matches [Longident] paths without name
+    resolution.  Suppress intentional sites with [\[@lint.allow "ID"\]] or an
+    allow-file entry. *)
+
+type config = {
+  whatif_modules : string list;
+      (** lowercase module basenames subject to D003,
+          e.g. [\["benefit"; "optimizer"\]] *)
+}
+
+val default_config : config
+
+(** Run every parsetree-level check (D001, D002, D003, H002) on one
+    compilation unit.  [source] is the raw file text, used to honor
+    [(* lint: reason *)] notes; [filename] selects D003 applicability.
+    Attribute suppressions are already applied; allow-file suppression is the
+    caller's job. *)
+val check_structure :
+  config:config ->
+  filename:string ->
+  source:string ->
+  Parsetree.structure ->
+  Finding.t list
+
+(** [missing_mli ~mls ~mlis] — H001: every [.ml] path with no matching
+    [.mli] path (compared by extension-stripped name). *)
+val missing_mli : mls:string list -> mlis:string list -> Finding.t list

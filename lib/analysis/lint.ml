@@ -1,0 +1,85 @@
+(* Analyzer driver: parse OCaml sources with compiler-libs, run the check
+   catalog, apply allow-file suppressions, report.
+
+   The unit of work is a source *string* ([lint_source]) so the test suite
+   can exercise every check on inline fixtures; [lint_paths] layers the
+   filesystem walk (and the filesystem-level H001 check) on top. *)
+
+type error = { path : string; message : string }
+
+type report = {
+  findings : Finding.t list;   (* kept, sorted *)
+  suppressed : Finding.t list; (* matched by an allow-file entry *)
+  errors : error list;         (* unreadable / unparsable inputs *)
+}
+
+let empty_report = { findings = []; suppressed = []; errors = [] }
+
+let parse_structure ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  try Ok (Parse.implementation lexbuf) with
+  | Syntaxerr.Error _ as e ->
+      let msg =
+        match Location.error_of_exn e with
+        | Some (`Ok err) -> Format.asprintf "%a" Location.print_report err
+        | _ -> "syntax error"
+      in
+      Error { path = filename; message = String.trim msg }
+  | e -> Error { path = filename; message = Printexc.to_string e }
+
+let lint_source ?(config = Checks.default_config) ~filename source =
+  match parse_structure ~filename source with
+  | Error e -> Error e
+  | Ok structure -> Ok (Checks.check_structure ~config ~filename ~source structure)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?config path =
+  match read_file path with
+  | exception Sys_error m -> Error { path; message = m }
+  | source -> lint_source ?config ~filename:path source
+
+(* Recursively collect .ml/.mli files under [paths]; skips _build and dot
+   directories.  Sorted for deterministic reports. *)
+let collect_sources paths =
+  let mls = ref [] and mlis = ref [] and errors = ref [] in
+  let rec visit path =
+    match (Sys.is_directory path : bool) with
+    | exception Sys_error m -> errors := { path; message = m } :: !errors
+    | true ->
+        let base = Filename.basename path in
+        if base <> "_build" && not (String.length base > 1 && base.[0] = '.') then
+          Array.iter
+            (fun entry -> visit (Filename.concat path entry))
+            (let entries = Sys.readdir path in
+             Array.sort String.compare entries;
+             entries)
+    | false ->
+        if Filename.check_suffix path ".ml" then mls := path :: !mls
+        else if Filename.check_suffix path ".mli" then mlis := path :: !mlis
+  in
+  List.iter visit paths;
+  (List.rev !mls, List.rev !mlis, List.rev !errors)
+
+let lint_paths ?(config = Checks.default_config) ?(allow = []) paths =
+  let mls, mlis, walk_errors = collect_sources paths in
+  let findings, errors =
+    List.fold_left
+      (fun (findings, errors) ml ->
+        match lint_file ~config ml with
+        | Ok fs -> (fs :: findings, errors)
+        | Error e -> (findings, e :: errors))
+      ([], List.rev walk_errors) mls
+  in
+  let all = Checks.missing_mli ~mls ~mlis @ List.concat (List.rev findings) in
+  let kept, suppressed = Suppress.apply allow all in
+  {
+    findings = List.sort Finding.compare kept;
+    suppressed = List.sort Finding.compare suppressed;
+    errors = List.rev errors;
+  }

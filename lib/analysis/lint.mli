@@ -1,0 +1,28 @@
+(** Analyzer driver: parse with compiler-libs, run checks, apply the allow
+    file. *)
+
+type error = { path : string; message : string }
+
+type report = {
+  findings : Finding.t list;   (** kept findings, sorted *)
+  suppressed : Finding.t list; (** findings matched by an allow-file entry *)
+  errors : error list;         (** unreadable / unparsable inputs *)
+}
+
+val empty_report : report
+
+(** Lint one source string (parsetree-level checks only; no H001). *)
+val lint_source :
+  ?config:Checks.config ->
+  filename:string ->
+  string ->
+  (Finding.t list, error) result
+
+(** Lint one file from disk. *)
+val lint_file : ?config:Checks.config -> string -> (Finding.t list, error) result
+
+(** Lint every [.ml] under [paths] (recursively; skips [_build] and dot
+    directories), including the H001 interface check, then apply the
+    allow-file [entries]. *)
+val lint_paths :
+  ?config:Checks.config -> ?allow:Suppress.entry list -> string list -> report

@@ -161,6 +161,7 @@ let map ~domains f arr =
     Mutex.unlock fin_lock;
     Atomic.set slot None;
     (match Atomic.get error with Some (_, e) -> raise e | None -> ());
+    (* lint: every slot was filled — the completion barrier above waits for all n *)
     Array.map (function Some v -> v | None -> assert false) results
   end
 

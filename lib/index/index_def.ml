@@ -26,11 +26,13 @@ type t = {
   dtype : data_type;
 }
 
-let counter = ref 0
+(* Atomic: fresh-name allocation must stay race-free when candidates are
+   generated from several domains (--domains > 1). *)
+let counter = Atomic.make 0
 
 let fresh_name table pattern dtype =
-  incr counter;
-  Printf.sprintf "IDX%d_%s_%s_%s" !counter table
+  let n = Atomic.fetch_and_add counter 1 + 1 in
+  Printf.sprintf "IDX%d_%s_%s_%s" n table
     (match dtype with Dstring -> "S" | Ddouble -> "D")
     (let s = Xia_xpath.Pattern.to_string pattern in
      String.map

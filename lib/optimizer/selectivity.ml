@@ -101,6 +101,7 @@ let path_selectivity (v : path_view) (condition : Xia_query.Rewriter.condition) 
               | Xp.Le -> v.min_num <= x
               | Xp.Gt -> v.min_num > x
               | Xp.Ge -> v.min_num >= x
+              (* lint: range branch — Eq/Ne handled by the equality arm above *)
               | Xp.Eq | Xp.Ne -> assert false
             in
             if holds then 1.0 else 0.0)
@@ -117,6 +118,7 @@ let path_selectivity (v : path_view) (condition : Xia_query.Rewriter.condition) 
               match cmp with
               | Xp.Lt | Xp.Le -> below
               | Xp.Gt | Xp.Ge -> 1.0 -. below
+              (* lint: range branch — Eq/Ne handled by the equality arm above *)
               | Xp.Eq | Xp.Ne -> assert false
             in
             (* Within the range, never estimate below one key's share. *)

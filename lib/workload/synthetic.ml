@@ -69,9 +69,11 @@ let random_query rng catalog table =
   | _ ->
       let info = List.nth eligible (Random.State.int rng (List.length eligible)) in
       let root =
+        (* lint: collected paths are never empty (root component always present) *)
         match info.path with r :: _ -> r | [] -> assert false
       in
       let rel =
+        (* lint: eligible paths were filtered to those with relative components *)
         match rel_components info with Some r -> r | None -> assert false
       in
       let rel_steps = blur rng (List.map step_of_component rel) in

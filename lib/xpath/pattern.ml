@@ -123,7 +123,7 @@ let rewrite_middle_wildcards (p : t) : t =
     | { test = Ast.Elem Ast.Wildcard; _ } :: (_ :: _ as rest) -> (
         match loop rest with
         | next :: tail -> { next with axis = Ast.Descendant } :: tail
-        | [] -> assert false)
+        | [] -> assert false (* lint: [loop] never maps a non-empty list to [] *))
     | s :: rest -> s :: loop rest
   in
   (* Collapse runs of descendant wildcards too: //*//b is just //b when the

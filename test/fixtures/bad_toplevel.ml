@@ -1,0 +1,20 @@
+(* Lint smoke-test fixture: never compiled, only parsed by xia_lint.
+   Exercises D001 (toplevel mutable state), D002 (Sys.time), H002
+   (failwith without a note) and H001 (no .mli for this file). *)
+
+let cache = Hashtbl.create 16
+let counter = ref 0
+
+let elapsed f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let boom () = failwith "unhandled"
+
+let fine () =
+  (* function-local allocation: not D001 *)
+  let buf = Buffer.create 64 in
+  Buffer.contents buf
+
+let suppressed = (ref 0 [@lint.allow "D001"])
