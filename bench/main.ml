@@ -25,23 +25,27 @@ module Synthetic = Xia_workload.Synthetic
 
 let paper_all_index_mb = 95.0
 
-let quick = ref false
+(* Atomic rather than a bare ref: module-toplevel mutable state must be
+   domain-safe (the lint's D001 rule), even though the flag is only written
+   during argument parsing. *)
+let quick = Atomic.make false
 
 let line = String.make 86 '-'
 
 let header title =
   Format.printf "@.%s@.== %s@.%s@." line title line
 
+(* Lazy, not a closure over a memo ref: forced only after the quick flag is
+   parsed, and safe to share once forced. *)
 let tpox_catalog =
-  let memo = ref None in
-  fun () ->
-    match !memo with
-    | Some c -> c
-    | None ->
+  let memo =
+    Lazy.from_fun (fun () ->
         let catalog = Catalog.create () in
-        if !quick then Tpox.load ~scale:Tpox.tiny_scale catalog else Tpox.load catalog;
-        memo := Some catalog;
-        catalog
+        if Atomic.get quick then Tpox.load ~scale:Tpox.tiny_scale catalog
+        else Tpox.load catalog;
+        catalog)
+  in
+  fun () -> Lazy.force memo
 
 let paper_mb_of ~all_size bytes =
   paper_all_index_mb *. float_of_int bytes /. float_of_int all_size
@@ -219,7 +223,7 @@ let fig4 () =
   Format.printf "(disk budget: paper-equivalent 2000 MB)@.@.";
   Format.printf "%6s | %10s | %10s | %10s@." "train" "all-index" "td-lite" "heuristic";
   Format.printf "%s@." line;
-  let ns = if !quick then [ 1; 5; 10; 15; 20 ] else [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
+  let ns = if Atomic.get quick then [ 1; 5; 10; 15; 20 ] else [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
   List.iter
     (fun n ->
       let train = W.prefix n test in
@@ -248,7 +252,7 @@ let fig5 () =
   Format.printf "%6s | %10s | %10s | %10s@." "train" "all-index" "td-lite" "heuristic";
   Format.printf "%s@." line;
   let all_actual = actual (Advisor.indexes all) in
-  let ns = if !quick then [ 1; 10; 20 ] else [ 1; 4; 8; 12; 16; 20 ] in
+  let ns = if Atomic.get quick then [ 1; 10; 20 ] else [ 1; 4; 8; 12; 16; 20 ] in
   List.iter
     (fun n ->
       let train = W.prefix n test in
@@ -267,7 +271,7 @@ let fig5 () =
 let xmark () =
   header "Extension (tech-report): XMark workload";
   let catalog = Catalog.create () in
-  if !quick then Xmark.load ~scale:Xmark.tiny_scale catalog else Xmark.load catalog;
+  if Atomic.get quick then Xmark.load ~scale:Xmark.tiny_scale catalog else Xmark.load catalog;
   let workload = Xmark.workload () in
   let session = Advisor.create_session catalog workload in
   let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
@@ -449,9 +453,9 @@ let calls () =
       let ev = Benefit.create catalog workload in
       let session = { Advisor.catalog; workload; candidates = set; evaluator = ev } in
       let _ = Advisor.session_advise session ~budget alg in
-      let naive = (ev.Benefit.cache_hits + Hashtbl.length ev.Benefit.cache) * W.size workload in
+      let naive = (Benefit.cache_hits ev + Benefit.cached_sub_configs ev) * W.size workload in
       Format.printf "%-20s | %10d | %12d | %10d@." (Advisor.algorithm_name alg)
-        ev.Benefit.evaluations naive ev.Benefit.cache_hits)
+        (Benefit.evaluations ev) naive (Benefit.cache_hits ev))
     Advisor.all_algorithms;
   Format.printf
     "@.'naive calls' = what evaluating every requested (sub-)configuration against@.\
@@ -524,7 +528,7 @@ let scale () =
       in
       Format.printf "%8d | %8d | %8d | %10.3f | %10d | %8.2fx@." n
         (List.length (Candidate.basics set))
-        (Candidate.cardinality set) (Unix.gettimeofday () -. t0) ev.Benefit.evaluations
+        (Candidate.cardinality set) (Unix.gettimeofday () -. t0) (Benefit.evaluations ev)
         r.Advisor.est_speedup)
     [ 11; 20; 40; 60; 80; 100 ];
   Format.printf
@@ -543,7 +547,7 @@ let par () =
   let workload =
     Tpox.workload ()
     @ Synthetic.workload ~seed:21 catalog (Catalog.table_names catalog)
-        (if !quick then 29 else 69)
+        (if Atomic.get quick then 29 else 69)
   in
   let set = Enumeration.candidates catalog workload in
   let algorithms =
@@ -574,9 +578,9 @@ let par () =
   Format.printf "workload: %d statements, %d candidates@." (W.size workload)
     (Candidate.cardinality set);
   Format.printf "advisor phase, domains=1: %8.3fs  (%d optimizer calls)@." t1
-    ev1.Benefit.evaluations;
+    (Benefit.evaluations ev1);
   Format.printf "advisor phase, domains=4: %8.3fs  (%d optimizer calls)@." tn
-    evn.Benefit.evaluations;
+    (Benefit.evaluations evn);
   Format.printf "speedup: %.2fx; identical recommendations: %b@."
     (if tn > 0.0 then t1 /. tn else 1.0)
     identical;
@@ -608,6 +612,14 @@ let micro () =
     Xia_xpath.Nfa.of_steps
       (List.map (fun s -> (s.Xia_xpath.Pattern.axis, s.Xia_xpath.Pattern.test)) p)
   in
+  (* Warm evaluator for the benefit micros: every sub-configuration below is
+     already cached, so the measurement isolates the cache lookup path
+     (fingerprint + shard probe) the searches actually sit on. *)
+  let ev = Benefit.create catalog workload in
+  let set = Enumeration.candidates catalog workload in
+  let basics = Candidate.basics set in
+  ignore (Benefit.benefit ev basics);
+  List.iter (fun c -> ignore (Benefit.individual_benefit ev c)) basics;
   let tests =
     [
       Test.make ~name:"xpath.parse"
@@ -628,10 +640,19 @@ let micro () =
       Test.make ~name:"optimizer.evaluate"
         (Staged.stage (fun () ->
              ignore (Optimizer.statement_cost ~mode:Optimizer.Evaluate catalog q2)));
-      Test.make ~name:"stats.pattern_matching"
+      (* Old vs new matching: the linear scan re-runs the NFA over every
+         distinct path; the production path is one trie walk, served from the
+         shared per-stats cache on repeats. *)
+      Test.make ~name:"stats.matching_linear"
         (Staged.stage (fun () ->
-             Hashtbl.reset (Hashtbl.create 0) |> ignore;
-             ignore (Xia_storage.Path_stats.matching stats pat_g)));
+             ignore (Xia_storage.Path_stats.matching_linear stats pat_g)));
+      Test.make ~name:"stats.matching"
+        (Staged.stage (fun () -> ignore (Xia_storage.Path_stats.matching stats pat_g)));
+      Test.make ~name:"benefit.basics_warm"
+        (Staged.stage (fun () -> ignore (Benefit.benefit ev basics)));
+      Test.make ~name:"benefit.single_warm"
+        (Staged.stage (fun () ->
+             ignore (Benefit.individual_benefit ev (List.hd basics))));
       Test.make ~name:"advisor.enumerate_workload"
         (Staged.stage (fun () -> ignore (Enumeration.basic_candidates catalog workload)));
     ]
@@ -641,17 +662,74 @@ let micro () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg [ instance ] test in
       let results = Analyze.all ols instance raw in
-      Hashtbl.iter
-        (fun name ols ->
+      Hashtbl.fold
+        (fun name ols acc ->
           match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Format.printf "  %-32s %14.1f ns/run@." name est
-          | Some [] | None -> Format.printf "  %-32s (no estimate)@." name)
-        results)
+          | Some (est :: _) ->
+              Format.printf "  %-32s %14.1f ns/run@." name est;
+              (name, est) :: acc
+          | Some [] | None ->
+              Format.printf "  %-32s (no estimate)@." name;
+              acc)
+        results [])
     tests
+
+(* ---------- machine-readable benchmark reports ---------- *)
+
+(* One record per exhibit run: wall-clock plus the deltas of the process-wide
+   optimizer-call and sub-configuration-cache-hit counters. *)
+type exhibit_record = {
+  ex_name : string;
+  wall_seconds : float;
+  optimizer_calls : int;
+  sub_cache_hits : int;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let scale_name () = if Atomic.get quick then "quick" else "full"
+
+let write_advisor_json path records =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"xia-advisor-exhibits\",\n  \"scale\": %S,\n  \"exhibits\": [\n"
+    (scale_name ());
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"wall_seconds\": %.4f, \"optimizer_calls\": %d, \"sub_cache_hits\": %d}%s\n"
+        (json_escape r.ex_name) r.wall_seconds r.optimizer_calls r.sub_cache_hits
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s (%d exhibits)@." path (List.length records)
+
+let write_micro_json path estimates =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"xia-micro\",\n  \"scale\": %S,\n  \"tests\": [\n"
+    (scale_name ());
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name) ns
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d tests)@." path (List.length estimates)
 
 (* ---------- main ---------- *)
 
@@ -681,7 +759,7 @@ let () =
     List.filter
       (fun a ->
         if String.equal a "quick" then begin
-          quick := true;
+          Atomic.set quick true;
           false
         end
         else true)
@@ -693,15 +771,34 @@ let () =
     | l -> l
   in
   Format.printf "XML Index Advisor - experiment harness%s@."
-    (if !quick then " (quick scale)" else "");
+    (if Atomic.get quick then " (quick scale)" else "");
+  let records = ref [] in
+  let micro_estimates = ref [] in
+  let instrumented name f =
+    let calls0 = Atomic.get Optimizer.counters.Optimizer.optimize_calls in
+    let hits0 = Benefit.total_cache_hits () in
+    let t0 = Unix.gettimeofday () in
+    f ();
+    records :=
+      {
+        ex_name = name;
+        wall_seconds = Unix.gettimeofday () -. t0;
+        optimizer_calls =
+          Atomic.get Optimizer.counters.Optimizer.optimize_calls - calls0;
+        sub_cache_hits = Benefit.total_cache_hits () - hits0;
+      }
+      :: !records
+  in
   List.iter
     (fun name ->
-      if String.equal name "micro" then micro ()
+      if String.equal name "micro" then micro_estimates := !micro_estimates @ micro ()
       else
         match List.assoc_opt name experiments with
-        | Some f -> f ()
+        | Some f -> instrumented name f
         | None ->
             Format.printf "unknown experiment %S; available: %s, micro@." name
               (String.concat ", " (List.map fst experiments)))
     selected;
+  if !records <> [] then write_advisor_json "BENCH_advisor.json" (List.rev !records);
+  if !micro_estimates <> [] then write_micro_json "BENCH_micro.json" !micro_estimates;
   Format.printf "@.Done.@."

@@ -1,14 +1,17 @@
 (* The check catalog, implemented over the untyped parsetree
    (compiler-libs [Parse] + [Ast_iterator]).  Every check has a stable ID:
 
-   D001  module-toplevel mutable state in lib/ not wrapped in
+   D001  module-toplevel mutable state not wrapped in
          Atomic/Domain.DLS/Mutex/Lazy — the PR-1 data-race bug class.
+         Includes state captured by a toplevel closure
+         ([let f = let memo = ref None in fun () -> ...]).
    D002  [Sys.time] used for timing: it measures process CPU time, which
          diverges from wall-clock the moment work runs on several domains.
    D003  catalog/store mutation reachable from the what-if evaluation
          modules (call-graph approximation), enforcing the reentrancy
          contract: a what-if evaluation must never mutate shared state.
-   H001  a lib/ module without an .mli interface.
+   H001  a module without an .mli interface (bin/ and bench/ executable
+         directories exempt: entry points have no importable surface).
    H002  [failwith]/[assert false] without a [(* lint: reason *)] note.
 
    The analysis is syntactic and unscoped by design: it sees [Longident]
@@ -101,6 +104,18 @@ let d001_message what =
      Atomic/Domain.DLS/Mutex/Lazy or allocate per instance"
     what
 
+(* Does this expression evaluate to a function?  Walks through the wrappers
+   a closure definition commonly sits under. *)
+let rec returns_closure (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
+  | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) | Pexp_let (_, _, e)
+  | Pexp_sequence (_, e) ->
+      returns_closure e
+  | Pexp_ifthenelse (_, t, Some f) -> returns_closure t || returns_closure f
+  | _ -> false
+
 (* Classify the right-hand side of a module-toplevel binding.  Descends
    through wrappers that merely surround the initializer and through data
    constructors whose payload would still be reachable shared state. *)
@@ -111,8 +126,25 @@ let rec d001_hits mutable_fields acc (e : expression) =
     (* Deferred allocation: a fresh value per call, not shared state. *)
     | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ | Pexp_lazy _ -> acc
     | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
-    | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) | Pexp_let (_, _, e) ->
+    | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) ->
         d001_hits mutable_fields acc e
+    | Pexp_let (_, vbs, body) ->
+        (* A memoizing closure — [let memo = ref None in fun () -> ...] — is
+           toplevel shared state with extra steps: the closure outlives the
+           binding and every caller shares the captured allocation.  Scan the
+           let-in bindings whenever the whole expression evaluates to a
+           function; a let-in whose body is a plain value ran once at init
+           and its locals are unreachable afterwards. *)
+        let acc =
+          if returns_closure body then
+            List.fold_left
+              (fun acc (vb : value_binding) ->
+                if allow "D001" vb.pvb_attributes then acc
+                else d001_hits mutable_fields acc vb.pvb_expr)
+              acc vbs
+          else acc
+        in
+        d001_hits mutable_fields acc body
     | Pexp_sequence (_, e2) -> d001_hits mutable_fields acc e2
     | Pexp_ifthenelse (_, t, f) ->
         let acc = d001_hits mutable_fields acc t in
@@ -373,12 +405,20 @@ let check_d003 structure =
 
 let module_of_path path = String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
 
+(* Executable directories: their modules are program entry points with no
+   importable surface, so demanding an .mli is noise.  Matched on any path
+   component, so `bench/main.ml` and `foo/bin/tool.ml` are both exempt. *)
+let h001_exempt_dirs = [ "bin"; "bench" ]
+
+let h001_exempt path =
+  List.exists (fun d -> List.mem d h001_exempt_dirs) (String.split_on_char '/' path)
+
 let missing_mli ~mls ~mlis =
   let have = Hashtbl.create 16 in
   List.iter (fun p -> Hashtbl.replace have (Filename.remove_extension p) ()) mlis;
   List.filter_map
     (fun ml ->
-      if Hashtbl.mem have (Filename.remove_extension ml) then None
+      if h001_exempt ml || Hashtbl.mem have (Filename.remove_extension ml) then None
       else
         Some
           (Finding.make ~file:ml ~line:1 ~col:0 ~id:"H001"

@@ -15,7 +15,7 @@
    What-if calls pass the virtual configuration to the optimizer explicitly
    ([~virtual_config]), so an evaluation never mutates the catalog.  That
    makes independent evaluations safe to run concurrently, and this module
-   fans them out over domains ([Par.map], up to [t.domains] at a time):
+   fans them out over domains ([Par.map], up to [domains t] at a time):
    statement costs within a sub-configuration delta, sub-configuration deltas
    within a benefit, and whole statements in [workload_cost] /
    [used_in_plans].  Results are deterministic — every sum is folded in the
@@ -23,6 +23,15 @@
    sub-configuration cache uses a compute-once discipline (a pending set plus
    a condition variable) so [evaluations] and [cache_hits] also match the
    sequential counts exactly.
+
+   The sub-configuration cache is sharded (lock-striped): keys are sorted
+   arrays of interned logical-index ids (no strings are built or hashed on
+   the hot path), each key hashes to one of [shard_count] independent
+   {lock, cond, cache, pending} stripes, and the counters are [Atomic]s.
+   Concurrent searches under [--domains > 1] therefore stop serializing on
+   one global mutex, while the per-key compute-once protocol — and with it
+   the counter determinism — is untouched (it only ever needed mutual
+   exclusion per key, which the owning shard still provides).
 
    Note: the paper prints the maintenance term outside the frequency product;
    we scale mc by the statement frequency, which is the only reading under
@@ -36,24 +45,55 @@ module Workload = Xia_workload.Workload
 module Ast = Xia_query.Ast
 module Int_set = Candidate.Int_set
 
+(* One lock stripe of the sub-configuration cache.  A fingerprint (sorted
+   int array of logical ids) always hashes to the same shard, so the
+   compute-once protocol runs entirely under the owning shard's lock. *)
+type shard = {
+  lock : Mutex.t;
+  cond : Condition.t;  (* signaled when one of this shard's pending keys resolves *)
+  cache : (int array, (float, exn) result) Hashtbl.t;
+      (* fingerprint -> cost delta term, or the exception its evaluation
+         raised (re-raised for every later request) *)
+  pending : (int array, unit) Hashtbl.t;  (* keys being computed right now *)
+}
+
+let shard_count = 16
+
 type t = {
   catalog : Catalog.t;
   items : Workload.item array;
   base_costs : float array;       (* per statement, no indexes *)
   base_affected : float array;    (* per statement, estimated documents modified *)
-  cache : (string, (float, exn) result) Hashtbl.t;
-      (* sub-configuration -> cost delta term, or the exception its
-         evaluation raised (re-raised for every later request) *)
+  shards : shard array;
   domains : int;                  (* parallelism for what-if fan-out *)
-  lock : Mutex.t;                 (* guards cache/pending/counters *)
-  cond : Condition.t;             (* signaled when a pending key resolves *)
-  pending : (string, unit) Hashtbl.t;  (* keys being computed right now *)
-  mutable evaluations : int;      (* optimizer calls made through this evaluator *)
-  mutable cache_hits : int;
-  mutable useful_memo : (int, unit) Hashtbl.t option;
-      (* memoized [useful_ids] result; valid because an evaluator is always
-         paired with one candidate set *)
+  evaluations : int Atomic.t;     (* optimizer calls made through this evaluator *)
+  cache_hits : int Atomic.t;
+  size_memo : (int, int) Xia_xpath.Interner.Cache.t;
+      (* candidate id -> derived size in bytes; sound because an evaluator
+         is always paired with one candidate set (ids are per-set) *)
+  useful_memo : (int, unit) Hashtbl.t option Atomic.t;
+      (* memoized [useful_ids] result; same pairing assumption *)
 }
+
+(* Process-wide running total of sub-configuration cache hits, for the bench
+   harness's perf trajectory (per-evaluator counters die with the evaluator). *)
+let global_hits = Atomic.make 0
+
+let total_cache_hits () = Atomic.get global_hits
+
+let catalog t = t.catalog
+let domains t = t.domains
+let evaluations t = Atomic.get t.evaluations
+let cache_hits t = Atomic.get t.cache_hits
+
+let cached_sub_configs t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lock;
+      let n = Hashtbl.length shard.cache in
+      Mutex.unlock shard.lock;
+      acc + n)
+    0 t.shards
 
 let dml_kind = function
   | Ast.Insert _ -> Some Maintenance.Dml_insert
@@ -79,20 +119,26 @@ let create ?domains catalog (workload : Workload.t) =
     items;
     base_costs = Array.map (fun p -> p.Plan.total_cost) base;
     base_affected = Array.map (fun p -> p.Plan.affected_docs) base;
-    cache = Hashtbl.create 256;
+    shards =
+      Array.init shard_count (fun _ ->
+          {
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            cache = Hashtbl.create 32;
+            pending = Hashtbl.create 4;
+          });
     domains;
-    lock = Mutex.create ();
-    cond = Condition.create ();
-    pending = Hashtbl.create 8;
-    evaluations = Array.length items;
-    cache_hits = 0;
-    useful_memo = None;
+    evaluations = Atomic.make (Array.length items);
+    cache_hits = Atomic.make 0;
+    size_memo = Xia_xpath.Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ();
+    useful_memo = Atomic.make None;
   }
 
-let count_evaluations t n =
-  Mutex.lock t.lock;
-  t.evaluations <- t.evaluations + n;
-  Mutex.unlock t.lock
+let count_evaluations t n = ignore (Atomic.fetch_and_add t.evaluations n)
+
+let count_hit t =
+  Atomic.incr t.cache_hits;
+  Atomic.incr global_hits
 
 let base_workload_cost t =
   let total = ref 0.0 in
@@ -170,10 +216,18 @@ let sub_configurations (config : Candidate.t list) =
     arr;
   Hashtbl.fold (fun _ g acc -> g :: acc) groups []
 
-let sub_config_key (sub : Candidate.t list) =
-  String.concat ";"
-    (List.sort String.compare
-       (List.map (fun c -> Xia_index.Index_def.logical_key c.Candidate.def) sub))
+(* Fingerprint of a sub-configuration: the sorted array of its members'
+   interned logical ids.  Equal configurations (up to order and index names)
+   get equal fingerprints; no string is built or hashed. *)
+let fingerprint (sub : Candidate.t list) =
+  let arr =
+    Array.of_list
+      (List.map (fun c -> Xia_index.Index_def.logical_id c.Candidate.def) sub)
+  in
+  Array.sort compare arr;
+  arr
+
+let shard_of t fp = t.shards.((Hashtbl.hash fp) land (shard_count - 1))
 
 (* Cost-delta term of one sub-configuration: Σ freq·(s_old − s_new) over its
    affected statements.
@@ -185,12 +239,13 @@ let sub_config_key (sub : Candidate.t list) =
    without recomputing (and without touching either counter, matching the
    sequential run, where a failed evaluation never publishes anything). *)
 let sub_config_delta t (sub : Candidate.t list) =
-  let key = sub_config_key sub in
+  let key = fingerprint sub in
+  let shard = shard_of t key in
   let rec acquire () =
-    (* t.lock held *)
-    match Hashtbl.find_opt t.cache key with
+    (* shard.lock held *)
+    match Hashtbl.find_opt shard.cache key with
     | Some (Ok d) ->
-        t.cache_hits <- t.cache_hits + 1;
+        count_hit t;
         `Hit d
     | Some (Error e) ->
         (* A sequential run would recompute and raise again without touching
@@ -198,29 +253,29 @@ let sub_config_delta t (sub : Candidate.t list) =
            from the cache counts neither a hit nor any evaluations. *)
         `Raise e
     | None ->
-        if Hashtbl.mem t.pending key then begin
-          Condition.wait t.cond t.lock;
+        if Hashtbl.mem shard.pending key then begin
+          Condition.wait shard.cond shard.lock;
           acquire ()
         end
         else begin
-          Hashtbl.replace t.pending key ();
+          Hashtbl.replace shard.pending key ();
           `Compute
         end
   in
-  Mutex.lock t.lock;
+  Mutex.lock shard.lock;
   let decision = acquire () in
-  Mutex.unlock t.lock;
+  Mutex.unlock shard.lock;
   match decision with
   | `Hit d -> d
   | `Raise e -> raise e
   | `Compute ->
       let publish ?(evals = 0) outcome =
-        Mutex.lock t.lock;
-        Hashtbl.remove t.pending key;
-        Hashtbl.replace t.cache key outcome;
-        t.evaluations <- t.evaluations + evals;
-        Condition.broadcast t.cond;
-        Mutex.unlock t.lock
+        Mutex.lock shard.lock;
+        Hashtbl.remove shard.pending key;
+        Hashtbl.replace shard.cache key outcome;
+        count_evaluations t evals;
+        Condition.broadcast shard.cond;
+        Mutex.unlock shard.lock
       in
       (try
          let affected =
@@ -272,6 +327,16 @@ let benefit t (config : Candidate.t list) =
    sub-configuration cache (a singleton is its own sub-configuration). *)
 let individual_benefit t c = benefit t [ c ]
 
+(* Derived candidate size, memoized per candidate id: the search algorithms
+   recompute catalog-derived sizes inside every density sort and knapsack
+   round, and the derivation walk is far from free. *)
+let candidate_size t (c : Candidate.t) =
+  Xia_xpath.Interner.Cache.find_or_compute t.size_memo c.Candidate.id (fun () ->
+      Candidate.size t.catalog c)
+
+let config_size t (config : Candidate.t list) =
+  List.fold_left (fun acc c -> acc + candidate_size t c) 0 config
+
 (* Candidates used by at least one optimizer plan when every basic candidate
    of a statement is installed together.  This captures indexes whose value
    only shows in combination (index ANDing): their individual benefit can be
@@ -294,7 +359,7 @@ let used_in_plans t (set : Candidate.set) =
             Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:defs
               t.catalog item.statement
           in
-          Some (List.map Xia_index.Index_def.logical_key (Plan.indexes_used plan)))
+          Some (List.map Xia_index.Index_def.logical_id (Plan.indexes_used plan)))
       (Array.mapi (fun i item -> (i, item)) t.items)
   in
   let used = Hashtbl.create 32 in
@@ -302,9 +367,9 @@ let used_in_plans t (set : Candidate.set) =
   Array.iter
     (function
       | None -> ()
-      | Some keys ->
+      | Some ids ->
           incr evals;
-          List.iter (fun k -> Hashtbl.replace used k ()) keys)
+          List.iter (fun k -> Hashtbl.replace used k ()) ids)
     per_stmt;
   count_evaluations t !evals;
   used
@@ -312,7 +377,7 @@ let used_in_plans t (set : Candidate.set) =
 (* Is this candidate worth keeping in a search space?  Positive individual
    benefit, or used by some plan in combination. *)
 let useful_ids t set =
-  match t.useful_memo with
+  match Atomic.get t.useful_memo with
   | Some ids -> ids
   | None ->
       let used = used_in_plans t set in
@@ -323,8 +388,8 @@ let useful_ids t set =
         (fun i (c : Candidate.t) ->
           if
             indiv.(i) > 0.0
-            || Hashtbl.mem used (Xia_index.Index_def.logical_key c.def)
+            || Hashtbl.mem used (Xia_index.Index_def.logical_id c.def)
           then Hashtbl.replace ids c.id ())
         cands;
-      t.useful_memo <- Some ids;
+      Atomic.set t.useful_memo (Some ids);
       ids

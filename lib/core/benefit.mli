@@ -6,30 +6,40 @@
     so evaluation never mutates the catalog and independent evaluations run
     concurrently over up to [domains] domains.  Results (and the
     [evaluations] / [cache_hits] counters) are deterministic — identical for
-    every [domains] value. *)
+    every [domains] value.
+
+    The sub-configuration cache is sharded (lock-striped) and keyed by sorted
+    arrays of interned logical-index ids, so concurrent searches don't
+    serialize on one global mutex and no key strings are built on the hot
+    path. *)
 
 module Catalog = Xia_index.Catalog
 module Workload = Xia_workload.Workload
 
-type t = {
-  catalog : Catalog.t;
-  items : Workload.item array;
-  base_costs : float array;
-  base_affected : float array;
-  cache : (string, (float, exn) result) Hashtbl.t;
-  domains : int;  (** parallelism for what-if fan-out *)
-  lock : Mutex.t;
-  cond : Condition.t;
-  pending : (string, unit) Hashtbl.t;
-  mutable evaluations : int;  (** optimizer calls made through this evaluator *)
-  mutable cache_hits : int;
-  mutable useful_memo : (int, unit) Hashtbl.t option;
-}
+type t
 
 (** Build an evaluator: costs every statement once with no indexes.
     [domains] (default [Par.default_domains ()]) bounds the parallel what-if
     fan-out; any value yields bit-for-bit identical results. *)
 val create : ?domains:int -> Catalog.t -> Workload.t -> t
+
+val catalog : t -> Catalog.t
+
+(** Parallelism bound for the what-if fan-out. *)
+val domains : t -> int
+
+(** Optimizer calls made through this evaluator. *)
+val evaluations : t -> int
+
+(** Sub-configuration cache hits of this evaluator. *)
+val cache_hits : t -> int
+
+(** Number of distinct sub-configurations currently cached. *)
+val cached_sub_configs : t -> int
+
+(** Process-wide running total of sub-configuration cache hits, across every
+    evaluator ever created (bench instrumentation). *)
+val total_cache_hits : unit -> int
 
 (** Frequency-weighted workload cost with no indexes. *)
 val base_workload_cost : t -> float
@@ -49,9 +59,17 @@ val benefit : t -> Candidate.t list -> float
 
 val individual_benefit : t -> Candidate.t -> float
 
-(* Logical keys of candidates used by some plan when each statement's basic
-   candidates are installed together (captures combination-only value). *)
-val used_in_plans : t -> Candidate.set -> (string, unit) Hashtbl.t
+(** Derived size in bytes of a candidate's index, memoized per candidate id
+    (the statistics derivation walk is pure but not free). *)
+val candidate_size : t -> Candidate.t -> int
+
+(** Sum of {!candidate_size} over a configuration. *)
+val config_size : t -> Candidate.t list -> int
+
+(* Interned logical ids ({!Xia_index.Index_def.logical_id}) of candidates
+   used by some plan when each statement's basic candidates are installed
+   together (captures combination-only value). *)
+val used_in_plans : t -> Candidate.set -> (int, unit) Hashtbl.t
 
 (** Ids of candidates worth searching over: positive individual benefit or
     used by some plan in combination (the paper's "not used in optimizer

@@ -30,24 +30,31 @@ type outcome = {
 
 let beta_default = 0.10
 
-let candidate_size ev c = Candidate.size ev.Benefit.catalog c
+let candidate_size ev c = Benefit.candidate_size ev c
 
-let config_size ev config = Candidate.config_size ev.Benefit.catalog config
+let config_size ev config = Benefit.config_size ev config
 
 let density ev benefit_of c =
   let s = float_of_int (max 1 (candidate_size ev c)) in
   benefit_of c /. s
 
 (* Candidates ordered by decreasing benefit density (deterministic
-   tie-breaking on specificity then key).  Densities are precomputed — in
-   parallel across the evaluator's domains — rather than recomputed inside
-   the comparator. *)
+   tie-breaking on specificity then key).  Densities — and the logical key
+   strings used as the final tie-break — are precomputed once per candidate,
+   the former in parallel across the evaluator's domains, rather than
+   recomputed inside the comparator.  The tie-break stays on the key
+   *string*: interned ids are allocation-order-dependent and must never
+   decide a user-visible ordering. *)
 let by_density ev benefit_of cands =
   let arr = Array.of_list cands in
-  let scores = Par.map ~domains:ev.Benefit.domains (density ev benefit_of) arr in
+  let scores = Par.map ~domains:(Benefit.domains ev) (density ev benefit_of) arr in
   let score = Hashtbl.create (Array.length arr) in
-  Array.iteri (fun i (c : Candidate.t) -> Hashtbl.replace score c.id scores.(i)) arr;
-  let density_of (c : Candidate.t) = Hashtbl.find score c.id in
+  Array.iteri
+    (fun i (c : Candidate.t) ->
+      Hashtbl.replace score c.id (scores.(i), Index_def.logical_key c.def))
+    arr;
+  let density_of (c : Candidate.t) = fst (Hashtbl.find score c.id) in
+  let key_of (c : Candidate.t) = snd (Hashtbl.find score c.id) in
   List.sort
     (fun a b ->
       match compare (density_of b) (density_of a) with
@@ -57,10 +64,7 @@ let by_density ev benefit_of cands =
               (Xia_xpath.Pattern.specificity b.Candidate.def.Index_def.pattern)
               (Xia_xpath.Pattern.specificity a.Candidate.def.Index_def.pattern)
           with
-          | 0 ->
-              String.compare
-                (Index_def.logical_key a.Candidate.def)
-                (Index_def.logical_key b.Candidate.def)
+          | 0 -> String.compare (key_of a) (key_of b)
           | c -> c)
       | c -> c)
     cands
@@ -71,7 +75,7 @@ let finalize ~algorithm ev ~calls_before ~t0 config =
     config;
     size = config_size ev config;
     benefit = Benefit.benefit ev config;
-    optimizer_calls = ev.Benefit.evaluations - calls_before;
+    optimizer_calls = Benefit.evaluations ev - calls_before;
     elapsed = Unix.gettimeofday () -. t0;
   }
 
@@ -85,7 +89,7 @@ let pool ev set =
 
 let greedy ev set ~budget =
   let t0 = Unix.gettimeofday () in
-  let calls_before = ev.Benefit.evaluations in
+  let calls_before = Benefit.evaluations ev in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let config, _ =
     List.fold_left
@@ -106,7 +110,7 @@ let covered_basics set (c : Candidate.t) =
 
 let greedy_heuristics ?(beta = beta_default) ev set ~budget =
   let t0 = Unix.gettimeofday () in
-  let calls_before = ev.Benefit.evaluations in
+  let calls_before = Benefit.evaluations ev in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let covered = ref Int_set.empty in
   let config = ref [] in
@@ -217,7 +221,7 @@ let greedy_fallback ev ~budget config =
 
 let top_down ?(variant = Full) ev set ~budget =
   let t0 = Unix.gettimeofday () in
-  let calls_before = ev.Benefit.evaluations in
+  let calls_before = Benefit.evaluations ev in
   let algorithm =
     match variant with Lite -> "top-down lite" | Full -> "top-down full"
   in
@@ -246,7 +250,7 @@ let top_down ?(variant = Full) ev set ~budget =
        independent (the configuration is fixed for the round), so they are
        computed in parallel; order is preserved by the positional map. *)
     let scored =
-      Par.map_list ~domains:ev.Benefit.domains
+      Par.map_list ~domains:(Benefit.domains ev)
         (fun (g : Candidate.t) ->
           let children =
             List.filter
@@ -311,7 +315,7 @@ let top_down_full ev set ~budget = top_down ~variant:Full ev set ~budget
 
 let dynamic_programming ev set ~budget =
   let t0 = Unix.gettimeofday () in
-  let calls_before = ev.Benefit.evaluations in
+  let calls_before = Benefit.evaluations ev in
   let items =
     List.filter (fun c -> candidate_size ev c <= budget) (pool ev set)
   in
@@ -327,7 +331,7 @@ let dynamic_programming ev set ~budget =
     let unit = max Xia_storage.Cost_params.page_size (budget / 2048) in
     let units = max 1 (budget / unit) in
     let w_of i = (candidate_size ev items.(i) + unit - 1) / unit in
-    let values = Par.map ~domains:ev.Benefit.domains (Benefit.individual_benefit ev) items in
+    let values = Par.map ~domains:(Benefit.domains ev) (Benefit.individual_benefit ev) items in
     let v_of i = values.(i) in
     let value = Array.make (units + 1) 0.0 in
     let take = Array.make_matrix n (units + 1) false in
@@ -359,7 +363,7 @@ let dynamic_programming ev set ~budget =
    candidates.  The best possible configuration for a query-only workload. *)
 let all_index ev set =
   let t0 = Unix.gettimeofday () in
-  let calls_before = ev.Benefit.evaluations in
+  let calls_before = Benefit.evaluations ev in
   finalize ~algorithm:"all index" ev ~calls_before ~t0 (Candidate.basics set)
 
 let pp_outcome ppf o =

@@ -59,6 +59,17 @@ let logical_key d =
     (data_type_to_string d.dtype)
     (Xia_xpath.Pattern.key d.pattern)
 
+(* Interned logical identity: (table id, dtype, pattern id) triples map to
+   dense ints without rebuilding the key string.  Ids are for identity
+   (fingerprints, cache keys) only; user-visible orderings stay on
+   [logical_key]. *)
+let id_interner : (int * data_type * int) Xia_xpath.Interner.t =
+  Xia_xpath.Interner.create ()
+
+let logical_id d =
+  Xia_xpath.Interner.intern id_interner
+    (Xia_xpath.Interner.label d.table, d.dtype, Xia_xpath.Pattern.id d.pattern)
+
 (* [covers ~general ~specific]: the general index can serve every lookup the
    specific one can — same table and type, containing pattern. *)
 let covers ~general ~specific =

@@ -34,6 +34,11 @@ val same : t -> t -> bool
 (** Canonical key of the logical identity. *)
 val logical_key : t -> string
 
+(** Interned int id of the logical identity: equal iff {!logical_key} is
+    equal, computed without rebuilding the key string.  Stable within a run
+    only — identity (fingerprints, cache keys), never user-visible order. *)
+val logical_id : t -> int
+
 (** [covers ~general ~specific]: the general index can serve every lookup of
     the specific one (same table/type, containing pattern). *)
 val covers : general:t -> specific:t -> bool

@@ -106,21 +106,18 @@ let derive (stats : Path_stats.t) (def : Index_def.t) =
     }
   end
 
-(* Domain-local memo: derivation is pure, and the advisor's parallel what-if
-   evaluator derives statistics from several domains at once.  A per-domain
-   cache keeps the hot path lock-free. *)
-let derivation_cache_key : (string * int, t) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+(* Shared read-mostly memo keyed by (interned logical id, generation):
+   derivation is pure, and the advisor's parallel what-if evaluator derives
+   statistics from several domains at once.  Replaces a per-domain
+   [Domain.DLS] table that was duplicated per domain, cold after every
+   spawn, and keyed by a rebuilt [logical_key] string. *)
+let derivation_cache : (int * int, t) Xia_xpath.Interner.Cache.t =
+  Xia_xpath.Interner.Cache.create ()
 
 let derive_cached stats def =
-  let cache = Domain.DLS.get derivation_cache_key in
-  let k = (Index_def.logical_key def, stats.Path_stats.generation) in
-  match Hashtbl.find_opt cache k with
-  | Some s -> s
-  | None ->
-      let s = derive stats def in
-      Hashtbl.add cache k s;
-      s
+  Xia_xpath.Interner.Cache.find_or_compute derivation_cache
+    (Index_def.logical_id def, stats.Path_stats.generation)
+    (fun () -> derive stats def)
 
 let pp ppf s =
   Fmt.pf ppf "{entries=%d; distinct=%d; docs=%d; size=%dB; leaves=%d; levels=%d}"

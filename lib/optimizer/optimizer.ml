@@ -304,10 +304,8 @@ let enumerate_indexes _catalog (stmt : Ast.statement) =
   let seen = Hashtbl.create 16 in
   List.filter_map
     (fun (a : Rewriter.access) ->
-      let key =
-        Printf.sprintf "%s|%s|%s" a.table (Pattern.key a.pattern)
-          (Index_def.data_type_to_string a.dtype)
-      in
+      (* Dedup on interned ids; no key string is built. *)
+      let key = (Xia_xpath.Interner.label a.table, Pattern.id a.pattern, a.dtype) in
       if Hashtbl.mem seen key then None
       else begin
         Hashtbl.add seen key ();

@@ -20,6 +20,18 @@ type path_info = {
   mutable histogram : Histogram.t option;
 }
 
+(* Trie over the interned label sequences of the dataguide.  Terminals store
+   the path's index into [infos] (the [ordered] list as an array), so a trie
+   walk can report matches in exactly the order the linear filter over
+   [ordered] would: collect indices, sort ints ascending, map back.  Children
+   are plain arrays frozen after collection — the trie is immutable once the
+   stats object is published. *)
+type trie = {
+  terminal : int;            (* index into [infos]; -1 when no path ends here *)
+  child_labels : int array;  (* interned label ids, parallel to [child_nodes] *)
+  child_nodes : trie array;
+}
+
 type t = {
   table : string;
   generation : int;
@@ -28,6 +40,10 @@ type t = {
   total_bytes : int;
   paths : (string, path_info) Hashtbl.t;
   ordered : path_info list; (* deterministic order: by path key *)
+  infos : path_info array;  (* [ordered] as an array (same order) *)
+  trie : trie;
+  matching_cache : (int, path_info list) Xia_xpath.Interner.Cache.t;
+      (* pattern id -> covered paths; shared across domains (read-mostly) *)
 }
 
 let path_key path = String.concat "/" path
@@ -49,6 +65,44 @@ type collector_entry = {
   mutable last_doc : int;
   rng : Random.State.t;
 }
+
+(* Build the label trie over every dataguide path.  Single-threaded (runs
+   inside [collect]); the mutable builder nodes are frozen into plain arrays
+   before the stats object is published. *)
+type trie_builder = {
+  mutable b_terminal : int;
+  b_children : (int, trie_builder) Hashtbl.t;
+}
+
+let build_trie infos =
+  let fresh () = { b_terminal = -1; b_children = Hashtbl.create 4 } in
+  let root = fresh () in
+  Array.iteri
+    (fun index info ->
+      let node =
+        List.fold_left
+          (fun node label ->
+            let l = Xia_xpath.Interner.label label in
+            match Hashtbl.find_opt node.b_children l with
+            | Some child -> child
+            | None ->
+                let child = fresh () in
+                Hashtbl.add node.b_children l child;
+                child)
+          root info.path
+      in
+      node.b_terminal <- index)
+    infos;
+  let rec freeze b =
+    let kids = Hashtbl.fold (fun l c acc -> (l, c) :: acc) b.b_children [] in
+    let kids = List.sort (fun (a, _) (b, _) -> compare a b) kids in
+    {
+      terminal = b.b_terminal;
+      child_labels = Array.of_list (List.map fst kids);
+      child_nodes = Array.of_list (List.map (fun (_, c) -> freeze c) kids);
+    }
+  in
+  freeze root
 
 let collect store =
   let acc : (string, collector_entry) Hashtbl.t = Hashtbl.create 256 in
@@ -130,6 +184,7 @@ let collect store =
       (fun a b -> String.compare a.path_key b.path_key)
       (Hashtbl.fold (fun _ info l -> info :: l) paths [])
   in
+  let infos = Array.of_list ordered in
   {
     table = Doc_store.name store;
     generation = Doc_store.generation store;
@@ -138,6 +193,9 @@ let collect store =
     total_bytes = Doc_store.total_bytes store;
     paths;
     ordered;
+    infos;
+    trie = build_trie infos;
+    matching_cache = Xia_xpath.Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ();
   }
 
 let find t path = Hashtbl.find_opt t.paths (path_key path)
@@ -150,25 +208,53 @@ let path_count t = Hashtbl.length t.paths
 
 let all_paths t = List.map (fun info -> info.path) t.ordered
 
-(* Paths covered by a linear index pattern.  Memoized per pattern key: the
-   stats object is immutable once collected.  The cache is domain-local
-   ([Domain.DLS]) because [matching] sits on the parallel what-if path and is
-   called from several domains at once; a per-domain table keeps it lock-free
-   at the cost of duplicating entries across domains. *)
-let matching_cache_key : (string * string * int, path_info list) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+(* Reference implementation of pattern-to-path matching: one full NFA run
+   per dataguide path.  Kept (uncached) as the differential-test oracle and
+   the "before" side of the micro-benchmarks; [matching] below must return
+   the identical list. *)
+let matching_linear t pattern =
+  List.filter (fun info -> Xia_xpath.Pattern.accepts pattern info.path) t.ordered
 
+(* Paths covered by a linear index pattern, via a single trie walk: the NFA
+   state set advances once per shared label prefix instead of once per path,
+   and a dead state set prunes the whole subtree.  Each label's match mask is
+   computed once per walk ([mask_memo]); matched terminal indices are sorted
+   so the result order equals the linear filter's ([ordered] order). *)
+let matching_walk t nfa =
+  let desc = Xia_xpath.Nfa.desc_mask nfa in
+  let mask_memo : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let mask_of label_id =
+    match Hashtbl.find_opt mask_memo label_id with
+    | Some m -> m
+    | None ->
+        let m = Xia_xpath.Nfa.match_mask nfa (Xia_xpath.Interner.label_value label_id) in
+        Hashtbl.add mask_memo label_id m;
+        m
+  in
+  let matched = ref [] in
+  let rec walk node set =
+    if node.terminal >= 0 && Xia_xpath.Nfa.accepting nfa set then
+      matched := node.terminal :: !matched;
+    Array.iteri
+      (fun i label_id ->
+        let set' = Xia_xpath.Nfa.advance_masks ~desc ~matches:(mask_of label_id) set in
+        if set' <> 0 then walk node.child_nodes.(i) set')
+      node.child_labels
+  in
+  walk t.trie Xia_xpath.Nfa.initial;
+  List.map
+    (fun i -> t.infos.(i))
+    (List.sort compare !matched)
+
+(* Memoized per interned pattern id.  The cache lives in the stats object
+   itself — stats are immutable once collected and rebuilt wholesale by
+   RUNSTATS, so no table/generation key component is needed — and is shared
+   across domains (read-mostly), where the old per-domain [Domain.DLS] table
+   was duplicated per domain and cold after every spawn. *)
 let matching t pattern =
-  let cache = Domain.DLS.get matching_cache_key in
-  let k = (t.table, Xia_xpath.Pattern.key pattern, t.generation) in
-  match Hashtbl.find_opt cache k with
-  | Some l -> l
-  | None ->
-      let l =
-        List.filter (fun info -> Xia_xpath.Pattern.accepts pattern info.path) t.ordered
-      in
-      Hashtbl.add cache k l;
-      l
+  Xia_xpath.Interner.Cache.find_or_compute t.matching_cache
+    (Xia_xpath.Pattern.id pattern)
+    (fun () -> matching_walk t (Xia_xpath.Pattern.nfa_of pattern))
 
 let avg_value_bytes info =
   if info.node_count = 0 then 0.0

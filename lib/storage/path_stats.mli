@@ -19,6 +19,9 @@ type path_info = {
           has no (or a single) numeric value *)
 }
 
+(** Label trie over the dataguide, built at collection time; immutable. *)
+type trie
+
 type t = {
   table : string;
   generation : int;  (** store generation at collection time *)
@@ -27,6 +30,10 @@ type t = {
   total_bytes : int;
   paths : (string, path_info) Hashtbl.t;
   ordered : path_info list;
+  infos : path_info array;  (** [ordered] as an array (same order) *)
+  trie : trie;
+  matching_cache : (int, path_info list) Xia_xpath.Interner.Cache.t;
+      (** pattern id → covered paths; shared, read-mostly *)
 }
 
 val path_key : string list -> string
@@ -40,7 +47,14 @@ val fold : ('a -> path_info -> 'a) -> t -> 'a -> 'a
 val path_count : t -> int
 val all_paths : t -> string list list
 
-(** Dataguide paths covered by an index pattern; memoized. *)
+(** Dataguide paths covered by an index pattern, in [ordered] order: a
+    single trie walk advancing the pattern's NFA state set once per shared
+    label prefix.  Memoized per pattern id (shared across domains). *)
 val matching : t -> Xia_xpath.Pattern.t -> path_info list
+
+(** Reference implementation (one NFA run per path, no cache): the
+    differential-test oracle and micro-benchmark baseline.  Always equal to
+    {!matching}. *)
+val matching_linear : t -> Xia_xpath.Pattern.t -> path_info list
 
 val avg_value_bytes : path_info -> float

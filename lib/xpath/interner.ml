@@ -1,0 +1,144 @@
+(* Interning and read-mostly concurrent memoization.
+
+   The advisor's hot paths (index-to-path matching, benefit fingerprints,
+   cache keys) used to rebuild and rehash pattern-key *strings* on every
+   lookup.  An interner maps those keys to dense integer ids once; everything
+   downstream hashes and compares ints.
+
+   Concurrency model: the id table is an immutable bucket map published
+   through an [Atomic]; readers never lock.  Writers serialize on a [Mutex],
+   re-check under the lock, extend the map and publish the new snapshot with
+   [Atomic.set].  Ids are allocated from an [Atomic] counter, so they are
+   unique even across interners; because allocation order can vary between
+   runs (and between [--domains] settings), ids must only ever be used for
+   identity — hashing, equality, cache keys — never for ordering anything
+   user-visible.
+
+   [Cache] reuses the same snapshot discipline for pure memoization: a miss
+   computes outside the lock (duplicated work is safe for pure functions) and
+   publishes the first result. *)
+
+module Int_map = Map.Make (Int)
+
+type 'a t = {
+  buckets : ('a * int) list Int_map.t Atomic.t;  (* hash -> collision list *)
+  values : 'a array Atomic.t;                    (* id -> key, dense *)
+  count : int Atomic.t;                          (* ids allocated so far *)
+  lock : Mutex.t;
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+}
+
+let create ?(hash = Hashtbl.hash) ?(equal = ( = )) () =
+  {
+    buckets = Atomic.make Int_map.empty;
+    values = Atomic.make [||];
+    count = Atomic.make 0;
+    lock = Mutex.create ();
+    hash;
+    equal;
+  }
+
+let find t key =
+  match Int_map.find_opt (t.hash key) (Atomic.get t.buckets) with
+  | None -> None
+  | Some bucket ->
+      let rec scan = function
+        | [] -> None
+        | (k, id) :: rest -> if t.equal k key then Some id else scan rest
+      in
+      scan bucket
+
+let intern t key =
+  match find t key with
+  | Some id -> id
+  | None ->
+      Mutex.lock t.lock;
+      let id =
+        match find t key with
+        | Some id -> id (* lost the race: another writer added it *)
+        | None ->
+            let id = Atomic.fetch_and_add t.count 1 in
+            let h = t.hash key in
+            let map = Atomic.get t.buckets in
+            let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
+            let old = Atomic.get t.values in
+            let values =
+              if id < Array.length old then old
+              else begin
+                let grown = Array.make (max 64 (2 * (id + 1))) key in
+                Array.blit old 0 grown 0 (Array.length old);
+                grown
+              end
+            in
+            values.(id) <- key;
+            (* Publish the value array before the bucket map: a reader that
+               obtains [id] must find [values.(id)] valid. *)
+            Atomic.set t.values values;
+            Atomic.set t.buckets (Int_map.add h ((key, id) :: bucket) map);
+            id
+      in
+      Mutex.unlock t.lock;
+      id
+
+let value t id = (Atomic.get t.values).(id)
+
+let size t = Atomic.get t.count
+
+(* ---------------------------------------------------------------- labels -- *)
+
+(* The global label interner: element and attribute labels of rooted data
+   paths ("Security", "@id", ...).  Shared by the path trie and the
+   enumeration dedup tables. *)
+let labels : string t = create ~hash:Hashtbl.hash ~equal:String.equal ()
+
+let label s = intern labels s
+let label_value id = value labels id
+
+(* ----------------------------------------------------------------- Cache -- *)
+
+module Cache = struct
+  (* Read-mostly concurrent memo table for pure functions.  Same snapshot
+     discipline as the interner; on a miss the computation runs *outside*
+     the lock, so two domains racing on the same key may both compute — the
+     first to publish wins, which is safe (and deterministic) because cached
+     functions are pure. *)
+  type ('k, 'v) t = {
+    buckets : ('k * 'v) list Int_map.t Atomic.t;
+    lock : Mutex.t;
+    hash : 'k -> int;
+    equal : 'k -> 'k -> bool;
+  }
+
+  let create ?(hash = Hashtbl.hash) ?(equal = ( = )) () =
+    { buckets = Atomic.make Int_map.empty; lock = Mutex.create (); hash; equal }
+
+  let find t key =
+    match Int_map.find_opt (t.hash key) (Atomic.get t.buckets) with
+    | None -> None
+    | Some bucket ->
+        let rec scan = function
+          | [] -> None
+          | (k, v) :: rest -> if t.equal k key then Some v else scan rest
+        in
+        scan bucket
+
+  let find_or_compute t key f =
+    match find t key with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        Mutex.lock t.lock;
+        let v =
+          match find t key with
+          | Some v' -> v' (* keep the first published result *)
+          | None ->
+              let h = t.hash key in
+              let map = Atomic.get t.buckets in
+              let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
+              Atomic.set t.buckets (Int_map.add h ((key, v) :: bucket) map);
+              v
+        in
+        Mutex.unlock t.lock;
+        v
+end

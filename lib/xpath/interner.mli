@@ -1,0 +1,44 @@
+(** Interning (key → dense int id) and read-mostly concurrent memoization.
+
+    Reads are lock-free: the table is an immutable map published through an
+    {!Atomic}.  Writers serialize on a mutex and publish a new snapshot.
+    Ids are unique and stable within a run but their allocation order may
+    vary across runs and [--domains] settings — use them for identity
+    (hashing, cache keys) only, never to order anything user-visible. *)
+
+type 'a t
+
+(** [create ~hash ~equal ()] builds an empty interner.  Defaults:
+    [Hashtbl.hash] / structural equality. *)
+val create : ?hash:('a -> int) -> ?equal:('a -> 'a -> bool) -> unit -> 'a t
+
+(** The id of [key], allocating a fresh one on first sight. *)
+val intern : 'a t -> 'a -> int
+
+(** Read-only lookup: [None] if the key was never interned. *)
+val find : 'a t -> 'a -> int option
+
+(** The key interned as [id].  Unspecified for ids not allocated by this
+    interner. *)
+val value : 'a t -> int -> 'a
+
+(** Number of ids allocated. *)
+val size : 'a t -> int
+
+(** The global label interner for rooted-path components ("Security",
+    ["@id"], ...). *)
+val labels : string t
+
+val label : string -> int
+val label_value : int -> string
+
+(** Read-mostly memo table for pure functions.  A miss computes outside the
+    lock (racing domains may duplicate work; first publish wins), so the
+    computation must be pure. *)
+module Cache : sig
+  type ('k, 'v) t
+
+  val create : ?hash:('k -> int) -> ?equal:('k -> 'k -> bool) -> unit -> ('k, 'v) t
+  val find : ('k, 'v) t -> 'k -> 'v option
+  val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+end

@@ -18,12 +18,17 @@ type step = Ast.axis * Ast.node_test
 
 type t = {
   steps : step array;
+  desc_mask : int;  (* bit i set iff step i uses the descendant axis *)
 }
 
 let of_steps steps =
   let steps = Array.of_list steps in
   if Array.length steps > 60 then invalid_arg "Nfa.of_steps: pattern too long";
-  { steps }
+  let desc_mask = ref 0 in
+  Array.iteri
+    (fun i (axis, _) -> if axis = Ast.Descendant then desc_mask := !desc_mask lor (1 lsl i))
+    steps;
+  { steps; desc_mask = !desc_mask }
 
 (* Fresh symbols for "any element label not mentioned" / "any attribute label
    not mentioned".  '\000' cannot start a parsed name. *)
@@ -49,21 +54,25 @@ let initial = 1
 
 let accepting nfa set = set land (1 lsl Array.length nfa.steps) <> 0
 
-let advance nfa set sym =
+(* Batch stepping: one advance is two bitwise ops once the per-symbol match
+   mask is known.  States with a pending descendant step self-loop
+   ([desc_mask]); states whose step's test matches the symbol shift up one. *)
+
+let desc_mask nfa = nfa.desc_mask
+
+let match_mask nfa sym =
   let n = Array.length nfa.steps in
-  let next = ref 0 in
-  for i = 0 to n do
-    if set land (1 lsl i) <> 0 then begin
-      (* Self-loop of a pending descendant step: state i stays alive on any
-         symbol if step i uses the descendant axis. *)
-      if i < n then begin
-        let axis, test = nfa.steps.(i) in
-        if axis = Ast.Descendant then next := !next lor (1 lsl i);
-        if test_matches test sym then next := !next lor (1 lsl (i + 1))
-      end
-    end
+  let mask = ref 0 in
+  for i = 0 to n - 1 do
+    let _, test = nfa.steps.(i) in
+    if test_matches test sym then mask := !mask lor (1 lsl i)
   done;
-  !next
+  !mask
+
+let advance_masks ~desc ~matches set = (set land desc) lor ((set land matches) lsl 1)
+
+let advance nfa set sym =
+  advance_masks ~desc:nfa.desc_mask ~matches:(match_mask nfa sym) set
 
 let accepts nfa word =
   let final = List.fold_left (fun set sym -> advance nfa set sym) initial word in

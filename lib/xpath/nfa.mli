@@ -12,6 +12,32 @@ val of_steps : step list -> t
 (** Does the pattern match this rooted label path? *)
 val accepts : t -> string list -> bool
 
+(** {2 Batch stepping}
+
+    State sets are int bitsets: bit [i] means "the first [i] steps have been
+    matched".  A walk starts from {!initial}, advances once per path
+    component and accepts when {!accepting} holds.  The per-symbol transition
+    is two bitwise ops given the symbol's match mask, which lets callers that
+    advance many state-sets over a shared path prefix (the path trie) compute
+    each symbol's mask once. *)
+
+(** The initial state set (only the empty prefix matched). *)
+val initial : int
+
+(** Does this state set accept (all steps matched)? *)
+val accepting : t -> int -> bool
+
+(** Bit [i] set iff step [i] uses the descendant axis (self-loops on any
+    symbol). *)
+val desc_mask : t -> int
+
+(** Bit [i] set iff step [i]'s test matches [sym]. *)
+val match_mask : t -> string -> int
+
+(** One transition: [advance_masks ~desc ~matches set] is the successor state
+    set of [set] on a symbol with match mask [matches]. *)
+val advance_masks : desc:int -> matches:int -> int -> int
+
 (** [contained sub sup]: is every label path matched by [sub] also matched by
     [sup]?  Exact (not heuristic) containment. *)
 val contained : t -> t -> bool

@@ -76,39 +76,40 @@ let has_descendant p = List.exists (fun s -> s.axis = Ast.Descendant) p
    fixed label sequence. *)
 let is_general_shape p = has_wildcard p || has_descendant p
 
-(* Memo caches are domain-local: the advisor's parallel what-if evaluator
-   calls [covers]/[accepts] from several domains at once, and a per-domain
-   cache keeps the hot path lock-free.  Results are pure, so duplicating
-   entries across domains is only a (small) memory cost. *)
-let nfa_cache_key : (string, Nfa.t) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+(* Interned pattern ids.  Interning is structural (over the step list), so
+   obtaining a pattern's id never rebuilds its string key; everything
+   downstream — the NFA cache, the covers cache, path-matching memos,
+   benefit fingerprints — hashes the int instead.  Ids identify patterns
+   only; every user-visible ordering stays on the printable key. *)
+let interner : t Interner.t = Interner.create ~equal ()
+
+let id p = Interner.intern interner p
+
+(* Memo caches are shared and read-mostly ([Interner.Cache]): the parallel
+   what-if evaluator calls [covers]/[accepts] from several domains at once,
+   and the old per-domain ([Domain.DLS]) tables were duplicated per domain
+   and cold after every spawn.  Reads are lock-free; results are pure, so a
+   racing miss merely duplicates a computation. *)
+let nfa_cache : (int, Nfa.t) Interner.Cache.t =
+  Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ()
 
 let nfa_of p =
-  let cache = Domain.DLS.get nfa_cache_key in
-  let k = key p in
-  match Hashtbl.find_opt cache k with
-  | Some n -> n
-  | None ->
-      let n = Nfa.of_steps (List.map (fun s -> (s.axis, s.test)) p) in
-      Hashtbl.add cache k n;
-      n
+  Interner.Cache.find_or_compute nfa_cache (id p) (fun () ->
+      Nfa.of_steps (List.map (fun s -> (s.axis, s.test)) p))
 
 let accepts p label_path = Nfa.accepts (nfa_of p) label_path
 
-let covers_cache_key : (string * string, bool) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+(* Key of the (general, specific) pair: ids packed into one int.  Ids are
+   dense counters, far below 2^31 in any realistic run. *)
+let covers_cache : (int, bool) Interner.Cache.t =
+  Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ()
 
 (* [covers ~general ~specific]: every node reachable by [specific] is also
    reachable by [general] (in any document). *)
 let covers ~general ~specific =
-  let cache = Domain.DLS.get covers_cache_key in
-  let k = (key general, key specific) in
-  match Hashtbl.find_opt cache k with
-  | Some b -> b
-  | None ->
-      let b = Nfa.contained (nfa_of specific) (nfa_of general) in
-      Hashtbl.add cache k b;
-      b
+  let k = (id general lsl 31) lor id specific in
+  Interner.Cache.find_or_compute covers_cache k (fun () ->
+      Nfa.contained (nfa_of specific) (nfa_of general))
 
 let equivalent a b = covers ~general:a ~specific:b && covers ~general:b ~specific:a
 

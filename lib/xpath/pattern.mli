@@ -27,6 +27,11 @@ val compare : t -> t -> int
 (** Canonical printable key, usable for hashing. *)
 val key : t -> string
 
+(** Interned id: equal patterns get equal ids, lookups are allocation-free.
+    Ids are stable within a run but not across runs — identity only, never
+    ordering (use {!key}/{!compare} for user-visible order). *)
+val id : t -> int
+
 val length : t -> int
 
 (** The universal pattern [//*], matching every element and used by the
@@ -49,6 +54,9 @@ val has_descendant : t -> bool
 
 (** [true] when the pattern can match more than one fixed label sequence. *)
 val is_general_shape : t -> bool
+
+(** The pattern's compiled automaton (memoized, shared across domains). *)
+val nfa_of : t -> Nfa.t
 
 (** Does the pattern match this concrete rooted label path?  (Attributes are
     labels spelled ["@name"].) *)

@@ -96,10 +96,10 @@ let benefit_tests =
         let set = En.candidates catalog (Xia_workload.Tpox.workload ()) in
         let c = List.hd (C.basics set) in
         let _ = B.benefit ev [ c ] in
-        let calls = ev.B.evaluations in
+        let calls = B.evaluations ev in
         let _ = B.benefit ev [ c ] in
-        Alcotest.(check int) "no new calls" calls ev.B.evaluations;
-        Alcotest.(check bool) "hit recorded" true (ev.B.cache_hits > 0));
+        Alcotest.(check int) "no new calls" calls (B.evaluations ev);
+        Alcotest.(check bool) "hit recorded" true (B.cache_hits ev > 0));
     tc "maintenance charge positive with DML" (fun () ->
         let catalog = Lazy.force Helpers.shared_catalog in
         let wl = Xia_workload.Tpox.workload_with_updates ~update_freq:50.0 () in

@@ -51,6 +51,22 @@ let d001_tests =
           \  let tbl = Hashtbl.create 16 in\n\
           \  let r = ref 0 in\n\
           \  Hashtbl.length tbl + !r\n");
+    tc "memoizing closure over a let-in ref is hit" (fun () ->
+        check_ids "captured state flagged"
+          [ (2, "D001") ]
+          "let cached =\n\
+          \  let memo = ref None in\n\
+          \  fun () -> !memo\n");
+    tc "let-in consumed at initialization not hit" (fun () ->
+        check_ids "clean" []
+          "let size =\n\
+          \  let tbl = Hashtbl.create 16 in\n\
+          \  Hashtbl.length tbl\n");
+    tc "safe wrapper inside a closure-returning let-in not hit" (fun () ->
+        check_ids "clean" []
+          "let cached =\n\
+          \  let memo = Lazy.from_fun (fun () -> Hashtbl.create 8) in\n\
+          \  fun () -> Lazy.force memo\n");
     tc "Atomic/DLS/Mutex/Lazy wrappers not hit" (fun () ->
         check_ids "clean" []
           "let a = Atomic.make 0\n\
@@ -144,6 +160,16 @@ let h001_tests =
         Alcotest.(check (list (pair string string)))
           "only two.ml"
           [ ("lib/a/two.ml", "H001") ]
+          (List.map (fun (f : Finding.t) -> (f.file, f.id)) fs));
+    tc "bin/ and bench/ executables are exempt" (fun () ->
+        let fs =
+          Checks.missing_mli
+            ~mls:[ "bin/xia_advise.ml"; "bench/main.ml"; "lib/a/one.ml" ]
+            ~mlis:[]
+        in
+        Alcotest.(check (list (pair string string)))
+          "only the lib module"
+          [ ("lib/a/one.ml", "H001") ]
           (List.map (fun (f : Finding.t) -> (f.file, f.id)) fs));
   ]
 

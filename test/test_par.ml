@@ -94,7 +94,7 @@ let differential_tests =
               let all = S.all_index ev set in
               let budget = all.S.size / 2 in
               let o = search ev set ~budget in
-              (o, ev.B.evaluations, ev.B.cache_hits))
+              (o, B.evaluations ev, B.cache_hits ev))
             [ 1; 2; 4 ]
         in
         match outcomes with
