@@ -22,6 +22,8 @@ module W = Xia_workload.Workload
 module Tpox = Xia_workload.Tpox
 module Xmark = Xia_workload.Xmark
 module Synthetic = Xia_workload.Synthetic
+module Obs = Xia_obs.Obs
+module Trace = Xia_obs.Trace
 
 let paper_all_index_mb = 95.0
 
@@ -141,9 +143,10 @@ let fig3 () =
       let cells =
         List.map
           (fun alg ->
-            let t0 = Unix.gettimeofday () in
-            let r = Advisor.advise catalog workload ~budget alg in
-            let elapsed = Unix.gettimeofday () -. t0 in
+            let r, elapsed =
+              Trace.timed "fig3.advise" (fun () ->
+                  Advisor.advise catalog workload ~budget alg)
+            in
             (elapsed, r.Advisor.outcome.Search.optimizer_calls))
           algorithms
       in
@@ -517,18 +520,23 @@ let scale () =
       let wl =
         Tpox.workload () @ Synthetic.workload ~seed:13 catalog tables (n - 11)
       in
-      let t0 = Unix.gettimeofday () in
-      let set = Enumeration.candidates catalog wl in
-      let ev = Benefit.create catalog wl in
-      let session = { Advisor.catalog; workload = wl; candidates = set; evaluator = ev } in
-      let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
-      let r =
-        Advisor.session_advise session ~budget:all.Advisor.outcome.Search.size
-          Advisor.Greedy_heuristics
+      let (set, ev, r), elapsed =
+        Trace.timed "scale.advise" (fun () ->
+            let set = Enumeration.candidates catalog wl in
+            let ev = Benefit.create catalog wl in
+            let session =
+              { Advisor.catalog; workload = wl; candidates = set; evaluator = ev }
+            in
+            let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+            let r =
+              Advisor.session_advise session ~budget:all.Advisor.outcome.Search.size
+                Advisor.Greedy_heuristics
+            in
+            (set, ev, r))
       in
       Format.printf "%8d | %8d | %8d | %10.3f | %10d | %8.2fx@." n
         (List.length (Candidate.basics set))
-        (Candidate.cardinality set) (Unix.gettimeofday () -. t0) (Benefit.evaluations ev)
+        (Candidate.cardinality set) elapsed (Benefit.evaluations ev)
         r.Advisor.est_speedup)
     [ 11; 20; 40; 60; 80; 100 ];
   Format.printf
@@ -554,13 +562,15 @@ let par () =
     [ Advisor.Greedy; Advisor.Top_down_full; Advisor.Dynamic_programming ]
   in
   let run domains =
-    let t0 = Unix.gettimeofday () in
-    let ev = Benefit.create ~domains catalog workload in
-    let session = { Advisor.catalog; workload; candidates = set; evaluator = ev } in
-    let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
-    let budget = all.Advisor.outcome.Search.size / 2 in
-    let outs = List.map (Advisor.session_advise session ~budget) algorithms in
-    (Unix.gettimeofday () -. t0, outs, ev)
+    let (outs, ev), elapsed =
+      Trace.timed "par.advisor_phase" (fun () ->
+          let ev = Benefit.create ~domains catalog workload in
+          let session = { Advisor.catalog; workload; candidates = set; evaluator = ev } in
+          let all = Advisor.session_advise session ~budget:max_int Advisor.All_index in
+          let budget = all.Advisor.outcome.Search.size / 2 in
+          (List.map (Advisor.session_advise session ~budget) algorithms, ev))
+    in
+    (elapsed, outs, ev)
   in
   let t1, outs1, ev1 = run 1 in
   let tn, outsn, evn = run 4 in
@@ -678,16 +688,91 @@ let micro () =
         results [])
     tests
 
+(* ---------- Observability overhead (enabled vs disabled) ---------- *)
+
+(* The acceptance bar for the observability layer: with the master switch
+   off, the instrumented hot paths (statistics matching, warm benefit
+   lookups) must cost the same as before instrumentation to within noise.
+   This measures each micro with the switch off and on and prints the
+   ratio; the off-mode numbers are comparable to the historical
+   BENCH_micro.json entries of the same name. *)
+let micro_obs () =
+  header "Observability overhead: micro-benchmarks with tracing off vs on";
+  let open Bechamel in
+  let catalog = tpox_catalog () in
+  let workload = Tpox.workload () in
+  let stats = Catalog.stats catalog Tpox.security_table in
+  let pat_g = Xia_xpath.Pattern.of_string "/Security//*" in
+  let ev = Benefit.create catalog workload in
+  let set = Enumeration.candidates catalog workload in
+  let basics = Candidate.basics set in
+  ignore (Benefit.benefit ev basics);
+  List.iter (fun c -> ignore (Benefit.individual_benefit ev c)) basics;
+  let cases =
+    [
+      ("stats.matching", fun () -> ignore (Xia_storage.Path_stats.matching stats pat_g));
+      ("benefit.single_warm", fun () -> ignore (Benefit.individual_benefit ev (List.hd basics)));
+      ("benefit.basics_warm", fun () -> ignore (Benefit.benefit ev basics));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let measure name f =
+    let raw = Benchmark.all cfg [ instance ] (Test.make ~name (Staged.stage f)) in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold
+      (fun _ ols acc ->
+        match Analyze.OLS.estimates ols with Some (est :: _) -> est | _ -> acc)
+      results Float.nan
+  in
+  Format.printf "  %-24s %14s %14s %9s@." "micro" "off (ns)" "on (ns)" "overhead";
+  List.concat_map
+    (fun (name, f) ->
+      let off = measure name f in
+      let on = Obs.with_enabled true (fun () -> measure name f) in
+      (* Spans recorded while measuring with the switch on are observability
+         noise, not exhibit telemetry: drop them. *)
+      ignore (Trace.flush ());
+      Format.printf "  %-24s %14.1f %14.1f %8.1f%%@." name off on
+        (100.0 *. ((on /. off) -. 1.0));
+      [ (name ^ "@obs=off", off); (name ^ "@obs=on", on) ])
+    cases
+
 (* ---------- machine-readable benchmark reports ---------- *)
 
 (* One record per exhibit run: wall-clock plus the deltas of the process-wide
-   optimizer-call and sub-configuration-cache-hit counters. *)
+   optimizer-call and sub-configuration-cache-hit counters, plus the phase
+   breakdown aggregated from the exhibit's trace spans (observability is on
+   while exhibits run): per span name, how many spans fired and their total
+   self-reported duration. *)
+type phase = { ph_name : string; ph_count : int; ph_seconds : float }
+
 type exhibit_record = {
   ex_name : string;
   wall_seconds : float;
   optimizer_calls : int;
   sub_cache_hits : int;
+  phases : phase list;
 }
+
+(* Aggregate a flushed span list by span name, largest total first. *)
+let phases_of_spans spans =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Trace.span) ->
+      let count, total =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl s.Trace.name)
+      in
+      Hashtbl.replace tbl s.Trace.name
+        (count + 1, total +. (s.Trace.stop_s -. s.Trace.start_s)))
+    spans;
+  Hashtbl.fold
+    (fun ph_name (ph_count, ph_seconds) acc -> { ph_name; ph_count; ph_seconds } :: acc)
+    tbl []
+  |> List.sort (fun a b -> Float.compare b.ph_seconds a.ph_seconds)
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -708,9 +793,18 @@ let write_advisor_json path records =
     (scale_name ());
   List.iteri
     (fun i r ->
+      let phases =
+        String.concat ", "
+          (List.map
+             (fun p ->
+               Printf.sprintf "{\"name\": \"%s\", \"count\": %d, \"seconds\": %.4f}"
+                 (json_escape p.ph_name) p.ph_count p.ph_seconds)
+             r.phases)
+      in
       Printf.fprintf oc
-        "    {\"name\": \"%s\", \"wall_seconds\": %.4f, \"optimizer_calls\": %d, \"sub_cache_hits\": %d}%s\n"
+        "    {\"name\": \"%s\", \"wall_seconds\": %.4f, \"optimizer_calls\": %d, \"sub_cache_hits\": %d, \"phases\": [%s]}%s\n"
         (json_escape r.ex_name) r.wall_seconds r.optimizer_calls r.sub_cache_hits
+        phases
         (if i = List.length records - 1 then "" else ","))
     records;
   Printf.fprintf oc "  ]\n}\n";
@@ -767,7 +861,7 @@ let () =
   in
   let selected =
     match args with
-    | [] -> List.map fst experiments @ [ "micro" ]
+    | [] -> List.map fst experiments @ [ "micro"; "micro-obs" ]
     | l -> l
   in
   Format.printf "XML Index Advisor - experiment harness%s@."
@@ -777,26 +871,35 @@ let () =
   let instrumented name f =
     let calls0 = Atomic.get Optimizer.counters.Optimizer.optimize_calls in
     let hits0 = Benefit.total_cache_hits () in
-    let t0 = Unix.gettimeofday () in
-    f ();
+    (* Exhibits run with observability on so the record gets a per-phase
+       breakdown; micro-benchmarks below run with it off (the overhead of
+       the enabled path is itself measured by the micro-obs experiment). *)
+    Obs.set_enabled true;
+    ignore (Trace.flush ());
+    let (), wall_seconds = Trace.timed ("exhibit." ^ name) f in
+    Obs.set_enabled false;
+    let phases = phases_of_spans (Trace.flush ()) in
     records :=
       {
         ex_name = name;
-        wall_seconds = Unix.gettimeofday () -. t0;
+        wall_seconds;
         optimizer_calls =
           Atomic.get Optimizer.counters.Optimizer.optimize_calls - calls0;
         sub_cache_hits = Benefit.total_cache_hits () - hits0;
+        phases;
       }
       :: !records
   in
   List.iter
     (fun name ->
       if String.equal name "micro" then micro_estimates := !micro_estimates @ micro ()
+      else if String.equal name "micro-obs" then
+        micro_estimates := !micro_estimates @ micro_obs ()
       else
         match List.assoc_opt name experiments with
         | Some f -> instrumented name f
         | None ->
-            Format.printf "unknown experiment %S; available: %s, micro@." name
+            Format.printf "unknown experiment %S; available: %s, micro, micro-obs@." name
               (String.concat ", " (List.map fst experiments)))
     selected;
   if !records <> [] then write_advisor_json "BENCH_advisor.json" (List.rev !records);

@@ -74,7 +74,10 @@ let algorithm_of_string = function
 (* ---------- commands ---------- *)
 
 let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
-    update_freq synthetic domains verbose =
+    update_freq synthetic domains trace_file metrics_file verbose =
+  (* Either observability flag switches the whole pipeline's spans and
+     metrics on for this run. *)
+  if trace_file <> None || metrics_file <> None then Xia_obs.Obs.set_enabled true;
   let catalog = load_catalog benchmark small data_dirs in
   let workload = base_workload benchmark update_freq synthetic workload_file catalog in
   match algorithm_of_string algorithm with
@@ -83,9 +86,10 @@ let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
       1
   | Ok alg ->
       let budget = int_of_float (budget_mb *. 1024.0 *. 1024.0) in
-      let t0 = Unix.gettimeofday () in
-      let r = Advisor.advise ~beta ?domains catalog workload ~budget alg in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let r, elapsed =
+        Xia_obs.Trace.timed "cli.advise" (fun () ->
+            Advisor.advise ~beta ?domains catalog workload ~budget alg)
+      in
       Format.printf "%a@." Advisor.pp_recommendation r;
       Format.printf
         "base cost %.0f -> new cost %.0f (estimated speedup %.2fx)@.advisor time %.2fs, optimizer calls %d@."
@@ -94,6 +98,16 @@ let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
       if verbose then begin
         Format.printf "@.Workload:@.%a@." W.pp workload
       end;
+      Option.iter
+        (fun path ->
+          Xia_obs.Trace.write_file path
+            (Xia_obs.Trace.export_chrome (Xia_obs.Trace.flush ())))
+        trace_file;
+      Option.iter
+        (fun path ->
+          Xia_obs.Trace.write_file path
+            (Xia_obs.Metrics.to_json (Xia_obs.Metrics.snapshot ())))
+        metrics_file;
       0
 
 let explain_cmd benchmark small data_dirs query with_recommended =
@@ -307,6 +321,24 @@ let domains_arg =
            machine's recommended domain count).  The recommendation is \
            identical for every value.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable observability and write a Chrome trace_event JSON of the \
+           run to $(docv) (load in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable observability and write a JSON snapshot of pipeline \
+           metrics (counters, gauges, latency histograms) to $(docv).")
+
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the workload.")
 
 let query_arg =
@@ -324,7 +356,7 @@ let advise_term =
   Term.(
     const advise_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
     $ budget_arg $ algorithm_arg $ beta_arg $ updates_arg $ synthetic_arg
-    $ domains_arg $ verbose_arg)
+    $ domains_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let explain_term =
   Term.(

@@ -10,6 +10,10 @@
    D003  catalog/store mutation reachable from the what-if evaluation
          modules (call-graph approximation), enforcing the reentrancy
          contract: a what-if evaluation must never mutate shared state.
+   D004  [Unix.gettimeofday] called from lib/ code outside lib/obs/:
+         library code must read wall-clock through [Xia_obs.Obs.now_s]
+         (one sanctioned clock keeps tracing timestamps and ad-hoc timing
+         on the same axis, and keeps the instrumentation greppable).
    H001  a module without an .mli interface (bin/ and bench/ executable
          directories exempt: entry points have no importable surface).
    H002  [failwith]/[assert false] without a [(* lint: reason *)] note.
@@ -222,16 +226,28 @@ let check_d001 structure =
   items structure;
   !findings
 
-(* --------------------------------------------------------- D002 & H002 -- *)
+(* -------------------------------------------------- D002, D004 & H002 -- *)
 
 let d002_message =
-  "Sys.time measures process CPU time, not wall-clock; use Unix.gettimeofday \
+  "Sys.time measures process CPU time, not wall-clock; use Xia_obs.Obs.now_s \
    for elapsed time (or suppress for genuinely CPU-bound measurement)"
+
+let d004_message =
+  "Unix.gettimeofday in lib/ outside lib/obs/: read the clock through \
+   Xia_obs.Obs.now_s so library timing shares one sanctioned time source \
+   (or suppress for code that deliberately bypasses the obs layer)"
+
+(* D004 applies to library code only: any path with a [lib] component that is
+   not under the obs directory.  bin/, bench/ and test/ may read the clock
+   directly — they are leaves, not instrumented library surface. *)
+let d004_applies filename =
+  let components = String.split_on_char '/' filename in
+  List.mem "lib" components && not (List.mem "obs" components)
 
 let h002_message what =
   Printf.sprintf "%s without a (* lint: reason *) note explaining why it cannot happen" what
 
-let check_exprs ~notes structure =
+let check_exprs ~notes ~d004 structure =
   let findings = ref [] in
   let stack = ref [] in
   let active id = List.exists (List.mem id) !stack in
@@ -242,6 +258,13 @@ let check_exprs ~notes structure =
         if not (active "D002") then
           findings :=
             Finding.of_location ~id:"D002" ~message:d002_message e.pexp_loc :: !findings
+    | Pexp_ident lid
+      when d004
+           && has_suffix ~suffix:[ "Unix"; "gettimeofday" ] (Longident.flatten lid.txt)
+      ->
+        if not (active "D004") then
+          findings :=
+            Finding.of_location ~id:"D004" ~message:d004_message e.pexp_loc :: !findings
     | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _)
       when List.equal String.equal (Longident.flatten lid.txt) [ "failwith" ]
            || List.equal String.equal (Longident.flatten lid.txt) [ "Stdlib"; "failwith" ]
@@ -442,4 +465,6 @@ let check_structure ~config ~filename ~source structure =
     if List.mem basename config.whatif_modules then check_d003 structure else []
   in
   List.sort Finding.compare
-    (check_d001 structure @ check_exprs ~notes structure @ d003)
+    (check_d001 structure
+    @ check_exprs ~notes ~d004:(d004_applies filename) structure
+    @ d003)

@@ -5,6 +5,8 @@
     - [D002] [Sys.time] used for timing (CPU time, not wall-clock).
     - [D003] catalog/store mutation reachable from the what-if evaluation
       modules (call-graph approximation of PR 1's reentrancy contract).
+    - [D004] [Unix.gettimeofday] in [lib/] code outside [lib/obs/]: library
+      wall-clock reads must go through [Xia_obs.Obs.now_s].
     - [H001] module without an [.mli] interface.
     - [H002] [failwith]/[assert false] without a [(* lint: reason *)] note.
 
@@ -20,9 +22,10 @@ type config = {
 
 val default_config : config
 
-(** Run every parsetree-level check (D001, D002, D003, H002) on one
+(** Run every parsetree-level check (D001, D002, D003, D004, H002) on one
     compilation unit.  [source] is the raw file text, used to honor
-    [(* lint: reason *)] notes; [filename] selects D003 applicability.
+    [(* lint: reason *)] notes; [filename] selects D003 and D004
+    applicability.
     Attribute suppressions are already applied; allow-file suppression is the
     caller's job. *)
 val check_structure :

@@ -15,11 +15,11 @@ let log_src = Logs.Src.create "xia.advisor" ~doc:"XML Index Advisor phases"
 
 module Log = (val Logs.src_log log_src)
 
-(* Wall-clock: with parallel evaluation, CPU time would overstate elapsed. *)
+(* Wall-clock: with parallel evaluation, CPU time would overstate elapsed.
+   Each phase also records a trace span when observability is enabled. *)
 let timed what f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Log.info (fun m -> m "%s: %.3fs" what (Unix.gettimeofday () -. t0));
+  let r, dt = Xia_obs.Trace.timed ("advisor." ^ what) f in
+  Log.info (fun m -> m "%s: %.3fs" what dt);
   r
 
 type algorithm =
@@ -79,16 +79,24 @@ let summarize ev algorithm (outcome : Search.outcome) =
 
 (* One-shot advise: builds candidates and an evaluator internally. *)
 let advise ?beta ?domains catalog workload ~budget algorithm =
-  let set = timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload) in
-  Log.info (fun m ->
-      m "candidates: %d basic, %d total"
-        (List.length (Candidate.basics set))
-        (Candidate.cardinality set));
-  let ev = timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload) in
-  let outcome =
-    timed (algorithm_name algorithm) (fun () -> run_search ?beta ev set ~budget algorithm)
-  in
-  summarize ev algorithm outcome
+  Xia_obs.Trace.with_span "advisor.advise"
+    ~args:(fun () -> [ ("algorithm", algorithm_name algorithm) ])
+    (fun () ->
+      let set =
+        timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload)
+      in
+      Log.info (fun m ->
+          m "candidates: %d basic, %d total"
+            (List.length (Candidate.basics set))
+            (Candidate.cardinality set));
+      let ev =
+        timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload)
+      in
+      let outcome =
+        timed (algorithm_name algorithm) (fun () ->
+            run_search ?beta ev set ~budget algorithm)
+      in
+      summarize ev algorithm outcome)
 
 (* Shared-candidate variant for sweeps: reuse the candidate set and evaluator
    across budgets/algorithms (the sub-configuration cache carries over, as in
@@ -110,8 +118,13 @@ let create_session ?domains catalog workload =
   { catalog; workload; candidates; evaluator }
 
 let session_advise ?beta session ~budget algorithm =
-  let outcome = run_search ?beta session.evaluator session.candidates ~budget algorithm in
-  summarize session.evaluator algorithm outcome
+  Xia_obs.Trace.with_span "advisor.session_advise"
+    ~args:(fun () -> [ ("algorithm", algorithm_name algorithm) ])
+    (fun () ->
+      let outcome =
+        run_search ?beta session.evaluator session.candidates ~budget algorithm
+      in
+      summarize session.evaluator algorithm outcome)
 
 (* Estimated cost of an arbitrary workload under an arbitrary configuration
    of index definitions (used for train/test experiments where the test

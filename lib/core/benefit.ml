@@ -75,6 +75,15 @@ type t = {
       (* memoized [useful_ids] result; same pairing assumption *)
 }
 
+(* Observability: cache traffic and shard contention, mirrored into the
+   metrics registry when enabled.  The [evaluations]/[cache_hits] fields
+   below stay authoritative (and always on) — these counters only exist so a
+   [--metrics] snapshot can report them without an evaluator handle. *)
+let m_cache_hits = lazy (Xia_obs.Metrics.counter "benefit.cache_hits")
+let m_cache_misses = lazy (Xia_obs.Metrics.counter "benefit.cache_misses")
+let m_shard_waits = lazy (Xia_obs.Metrics.counter "benefit.shard_waits")
+let m_evaluations = lazy (Xia_obs.Metrics.counter "benefit.evaluations")
+
 (* Process-wide running total of sub-configuration cache hits, for the bench
    harness's perf trajectory (per-evaluator counters die with the evaluator). *)
 let global_hits = Atomic.make 0
@@ -134,11 +143,14 @@ let create ?domains catalog (workload : Workload.t) =
     useful_memo = Atomic.make None;
   }
 
-let count_evaluations t n = ignore (Atomic.fetch_and_add t.evaluations n)
+let count_evaluations t n =
+  ignore (Atomic.fetch_and_add t.evaluations n);
+  if Xia_obs.Obs.on () then Xia_obs.Metrics.add (Lazy.force m_evaluations) n
 
 let count_hit t =
   Atomic.incr t.cache_hits;
-  Atomic.incr global_hits
+  Atomic.incr global_hits;
+  if Xia_obs.Obs.on () then Xia_obs.Metrics.incr (Lazy.force m_cache_hits)
 
 let base_workload_cost t =
   let total = ref 0.0 in
@@ -150,6 +162,13 @@ let base_workload_cost t =
 (* Cost of the whole workload under a configuration (one Evaluate pass per
    statement; captures all interactions).  Used for final reporting. *)
 let workload_cost t (config : Candidate.t list) =
+  Xia_obs.Trace.with_span "benefit.workload_cost"
+    ~args:(fun () ->
+      [
+        ("config", string_of_int (List.length config));
+        ("statements", string_of_int (Array.length t.items));
+      ])
+  @@ fun () ->
   (* Re-warm in case the store changed since [create]: concurrent [stats]
      reads below must never hit the lazy collection path. *)
   Catalog.warm_stats t.catalog;
@@ -254,11 +273,16 @@ let sub_config_delta t (sub : Candidate.t list) =
         `Raise e
     | None ->
         if Hashtbl.mem shard.pending key then begin
+          (* Another domain is computing this key: shard contention. *)
+          if Xia_obs.Obs.on () then
+            Xia_obs.Metrics.incr (Lazy.force m_shard_waits);
           Condition.wait shard.cond shard.lock;
           acquire ()
         end
         else begin
           Hashtbl.replace shard.pending key ();
+          if Xia_obs.Obs.on () then
+            Xia_obs.Metrics.incr (Lazy.force m_cache_misses);
           `Compute
         end
   in
@@ -278,32 +302,42 @@ let sub_config_delta t (sub : Candidate.t list) =
         Mutex.unlock shard.lock
       in
       (try
-         let affected =
-           List.fold_left
-             (fun acc c -> Int_set.union acc c.Candidate.affected)
-             Int_set.empty sub
-         in
-         let defs = List.map (fun c -> c.Candidate.def) sub in
-         let stmts =
-           List.filter
-             (fun i -> i >= 0 && i < Array.length t.items)
-             (Int_set.elements affected)
-         in
-         let costs =
-           Par.map_list ~domains:t.domains
-             (fun stmt_index ->
-               Optimizer.statement_cost ~mode:Optimizer.Evaluate ~virtual_config:defs
-                 t.catalog t.items.(stmt_index).Workload.statement)
-             stmts
-         in
+         let stmt_count = ref 0 in
          let delta =
-           List.fold_left2
-             (fun acc stmt_index cost_new ->
-               let item = t.items.(stmt_index) in
-               acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
-             0.0 stmts costs
+           Xia_obs.Trace.with_span "benefit.sub_config_delta"
+             ~args:(fun () ->
+               [
+                 ("indexes", string_of_int (List.length sub));
+                 ("statements", string_of_int !stmt_count);
+               ])
+             (fun () ->
+               let affected =
+                 List.fold_left
+                   (fun acc c -> Int_set.union acc c.Candidate.affected)
+                   Int_set.empty sub
+               in
+               let defs = List.map (fun c -> c.Candidate.def) sub in
+               let stmts =
+                 List.filter
+                   (fun i -> i >= 0 && i < Array.length t.items)
+                   (Int_set.elements affected)
+               in
+               stmt_count := List.length stmts;
+               let costs =
+                 Par.map_list ~domains:t.domains
+                   (fun stmt_index ->
+                     Optimizer.statement_cost ~mode:Optimizer.Evaluate
+                       ~virtual_config:defs t.catalog
+                       t.items.(stmt_index).Workload.statement)
+                   stmts
+               in
+               List.fold_left2
+                 (fun acc stmt_index cost_new ->
+                   let item = t.items.(stmt_index) in
+                   acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
+                 0.0 stmts costs)
          in
-         publish ~evals:(List.length stmts) (Ok delta);
+         publish ~evals:!stmt_count (Ok delta);
          delta
        with e ->
          (* Cache the failure: waiters (and any later request for this key)

@@ -7,23 +7,40 @@
 
 module Index_def = Xia_index.Index_def
 
+let m_statements = lazy (Xia_obs.Metrics.counter "enumeration.statements")
+let m_patterns = lazy (Xia_obs.Metrics.counter "enumeration.patterns")
+
 (* Enumerate basic candidates for a workload into a fresh candidate set. *)
 let basic_candidates catalog (workload : Xia_workload.Workload.t) =
   let set = Candidate.create_set () in
-  List.iteri
-    (fun stmt_index (item : Xia_workload.Workload.item) ->
-      let patterns = Xia_optimizer.Optimizer.enumerate_indexes catalog item.statement in
-      List.iter
-        (fun (table, pattern, dtype) ->
-          let def = Index_def.make ~table ~pattern ~dtype () in
-          let c = Candidate.add set ~origin:Candidate.Basic def in
-          Candidate.mark_affected c stmt_index)
-        patterns)
-    workload;
+  Xia_obs.Trace.with_span "enumeration.basic"
+    ~args:(fun () ->
+      [
+        ("statements", string_of_int (List.length workload));
+        ("candidates", string_of_int (Candidate.cardinality set));
+      ])
+    (fun () ->
+      List.iteri
+        (fun stmt_index (item : Xia_workload.Workload.item) ->
+          let patterns =
+            Xia_optimizer.Optimizer.enumerate_indexes catalog item.statement
+          in
+          if Xia_obs.Obs.on () then begin
+            Xia_obs.Metrics.incr (Lazy.force m_statements);
+            Xia_obs.Metrics.add (Lazy.force m_patterns) (List.length patterns)
+          end;
+          List.iter
+            (fun (table, pattern, dtype) ->
+              let def = Index_def.make ~table ~pattern ~dtype () in
+              let c = Candidate.add set ~origin:Candidate.Basic def in
+              Candidate.mark_affected c stmt_index)
+            patterns)
+        workload);
   set
 
 (* Full candidate generation: enumerate then generalize. *)
 let candidates catalog workload =
-  let set = basic_candidates catalog workload in
-  Generalize.close set;
-  set
+  Xia_obs.Trace.with_span "enumeration.candidates" (fun () ->
+      let set = basic_candidates catalog workload in
+      Generalize.close set;
+      set)

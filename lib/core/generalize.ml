@@ -118,10 +118,22 @@ let compatible (a : Candidate.t) (b : Candidate.t) =
    anything the experiments produce. *)
 let max_candidates = 20_000
 
+let m_rounds = lazy (Xia_obs.Metrics.counter "generalize.rounds")
+let m_added = lazy (Xia_obs.Metrics.counter "generalize.added")
+
 (* Expand the candidate set to a fixpoint: repeatedly generalize every
    compatible pair (including newly produced generals), wiring DAG edges as
    we go. *)
 let close set =
+  let rounds = ref 0 in
+  let before = Candidate.cardinality set in
+  Xia_obs.Trace.with_span "generalize.close"
+    ~args:(fun () ->
+      [
+        ("rounds", string_of_int !rounds);
+        ("added", string_of_int (Candidate.cardinality set - before));
+      ])
+  @@ fun () ->
   let queue = Queue.create () in
   List.iter (fun c -> Queue.add c queue) (Candidate.to_list set);
   let processed = Hashtbl.create 64 in
@@ -165,10 +177,15 @@ let close set =
     match Queue.take_opt queue with
     | None -> ()
     | Some c ->
+        incr rounds;
         let others = List.filter (fun o -> Hashtbl.mem processed o.Candidate.id) (Candidate.to_list set) in
         Hashtbl.replace processed c.Candidate.id ();
         List.iter (fun o -> consider c o) others;
         drain ()
   in
   drain ();
+  if Xia_obs.Obs.on () then begin
+    Xia_obs.Metrics.add (Lazy.force m_rounds) !rounds;
+    Xia_obs.Metrics.add (Lazy.force m_added) (Candidate.cardinality set - before)
+  end;
   Candidate.compute_affected set

@@ -30,6 +30,10 @@
      exception raised for the *smallest* item index is re-raised — the same
      one a sequential [Array.map] would have surfaced. *)
 
+module Obs = Xia_obs.Obs
+module Trace = Xia_obs.Trace
+module Metrics = Xia_obs.Metrics
+
 type pool = {
   jobs : (unit -> unit) Queue.t;
   lock : Mutex.t;
@@ -39,6 +43,13 @@ type pool = {
 }
 
 let default_domains () = Domain.recommended_domain_count ()
+
+(* Observability: batch/item counts and cumulative worker idle time.  The
+   idle clock only runs while observability is enabled, so an idle pool still
+   costs nothing when it is off. *)
+let m_batches = lazy (Xia_obs.Metrics.counter "par.batches")
+let m_items = lazy (Xia_obs.Metrics.counter "par.items")
+let m_idle_us = lazy (Xia_obs.Metrics.counter "par.idle_us")
 
 let worker_loop pool () =
   let rec next () =
@@ -54,7 +65,13 @@ let worker_loop pool () =
             Mutex.unlock pool.lock;
             Some job
         | None ->
-            Condition.wait pool.nonempty pool.lock;
+            if Obs.on () then begin
+              let t0 = Obs.now_s () in
+              Condition.wait pool.nonempty pool.lock;
+              Metrics.add (Lazy.force m_idle_us)
+                (int_of_float ((Obs.now_s () -. t0) *. 1e6))
+            end
+            else Condition.wait pool.nonempty pool.lock;
             await ()
     in
     match await () with
@@ -109,6 +126,11 @@ let map ~domains f arr =
   if n = 0 then [||]
   else if domains <= 1 || n <= 1 then Array.map f arr
   else begin
+    if Obs.on () then Metrics.incr (Lazy.force m_batches);
+    Trace.with_span "par.batch"
+      ~args:(fun () ->
+        [ ("items", string_of_int n); ("domains", string_of_int domains) ])
+    @@ fun () ->
     let pool = get_pool () in
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -123,6 +145,10 @@ let map ~domains f arr =
     let fin_cond = Condition.create () in
     let completed = ref 0 in
     let work () =
+      let claimed = ref 0 in
+      Trace.with_span "par.work"
+        ~args:(fun () -> [ ("claimed", string_of_int !claimed) ])
+      @@ fun () ->
       let rec claim mine =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then mine
@@ -132,7 +158,9 @@ let map ~domains f arr =
         end
       in
       let mine = claim 0 in
+      claimed := mine;
       if mine > 0 then begin
+        if Obs.on () then Metrics.add (Lazy.force m_items) mine;
         Mutex.lock fin_lock;
         completed := !completed + mine;
         if !completed >= n then Condition.broadcast fin_cond;

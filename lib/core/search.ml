@@ -18,6 +18,15 @@
 
 module Int_set = Candidate.Int_set
 module Index_def = Xia_index.Index_def
+module Obs = Xia_obs.Obs
+module Trace = Xia_obs.Trace
+module Metrics = Xia_obs.Metrics
+
+(* Per-algorithm event counter, e.g. "search.greedy.admitted".  Looked up by
+   name on each use; only reached when observability is on, and the registry
+   is tiny, so the lookup is off the disabled path entirely. *)
+let count name n =
+  if n > 0 && Obs.on () then Metrics.add (Metrics.counter name) n
 
 type outcome = {
   algorithm : string;
@@ -76,7 +85,7 @@ let finalize ~algorithm ev ~calls_before ~t0 config =
     size = config_size ev config;
     benefit = Benefit.benefit ev config;
     optimizer_calls = Benefit.evaluations ev - calls_before;
-    elapsed = Unix.gettimeofday () -. t0;
+    elapsed = Obs.now_s () -. t0;
   }
 
 (* -------- Plain greedy -------- *)
@@ -88,14 +97,22 @@ let pool ev set =
   List.filter (fun (c : Candidate.t) -> Hashtbl.mem useful c.id) (Candidate.to_list set)
 
 let greedy ev set ~budget =
-  let t0 = Unix.gettimeofday () in
+  Trace.with_span "search.greedy" @@ fun () ->
+  let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let config, _ =
     List.fold_left
       (fun (config, used) c ->
         let s = candidate_size ev c in
-        if used + s <= budget then (c :: config, used + s) else (config, used))
+        if used + s <= budget then begin
+          count "search.greedy.admitted" 1;
+          (c :: config, used + s)
+        end
+        else begin
+          count "search.greedy.rejected" 1;
+          (config, used)
+        end)
       ([], 0) cands
   in
   finalize ~algorithm:"greedy" ev ~calls_before ~t0 (List.rev config)
@@ -109,7 +126,8 @@ let covered_basics set (c : Candidate.t) =
     (Candidate.basics set)
 
 let greedy_heuristics ?(beta = beta_default) ev set ~budget =
-  let t0 = Unix.gettimeofday () in
+  Trace.with_span "search.greedy_heuristics" @@ fun () ->
+  let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let covered = ref Int_set.empty in
@@ -120,6 +138,7 @@ let greedy_heuristics ?(beta = beta_default) ev set ~budget =
     List.exists (fun (x : Candidate.t) -> x.id = c.id) !config
   in
   let admit c s basic_ids =
+    count "search.greedy_heuristics.admitted" 1;
     config := c :: !config;
     used := !used + s;
     cur_benefit := Benefit.benefit ev !config;
@@ -187,6 +206,8 @@ let greedy_heuristics ?(beta = beta_default) ev set ~budget =
         end
       end)
     cands;
+  count "search.greedy_heuristics.rejected"
+    (List.length cands - List.length !config);
   finalize ~algorithm:"greedy+heuristics" ev ~calls_before ~t0 (List.rev !config)
 
 (* -------- Top-down -------- *)
@@ -220,7 +241,13 @@ let greedy_fallback ev ~budget config =
   List.rev kept
 
 let top_down ?(variant = Full) ev set ~budget =
-  let t0 = Unix.gettimeofday () in
+  let span, counter_prefix =
+    match variant with
+    | Lite -> ("search.top_down_lite", "search.top_down_lite")
+    | Full -> ("search.top_down_full", "search.top_down_full")
+  in
+  Trace.with_span span @@ fun () ->
+  let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
   let algorithm =
     match variant with Lite -> "top-down lite" | Full -> "top-down full"
@@ -281,9 +308,11 @@ let top_down ?(variant = Full) ev set ~budget =
         replaceable
       |> List.filter_map Fun.id
     in
+    count (counter_prefix ^ ".rounds") 1;
     match scored with
     | [] -> continue_ := false
     | _ ->
+        count (counter_prefix ^ ".replacements") 1;
         let ratio (_, _, db, dc) = db /. float_of_int dc in
         let best =
           List.fold_left
@@ -314,7 +343,8 @@ let top_down_full ev set ~budget = top_down ~variant:Full ev set ~budget
 (* -------- Dynamic programming (exact knapsack, no interaction) -------- *)
 
 let dynamic_programming ev set ~budget =
-  let t0 = Unix.gettimeofday () in
+  Trace.with_span "search.dynamic_programming" @@ fun () ->
+  let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
   let items =
     List.filter (fun c -> candidate_size ev c <= budget) (pool ev set)
@@ -335,6 +365,14 @@ let dynamic_programming ev set ~budget =
     let v_of i = values.(i) in
     let value = Array.make (units + 1) 0.0 in
     let take = Array.make_matrix n (units + 1) false in
+    if Obs.on () then begin
+      (* Table-fill work: item i touches capacities w_of i .. units. *)
+      let steps = ref 0 in
+      for i = 0 to n - 1 do
+        steps := !steps + max 0 (units - w_of i + 1)
+      done;
+      count "search.dynamic_programming.knapsack_steps" !steps
+    end;
     for i = 0 to n - 1 do
       let w = w_of i and v = v_of i in
       for cap = units downto w do
@@ -354,6 +392,8 @@ let dynamic_programming ev set ~budget =
         cap := !cap - w_of i
       end
     done;
+    count "search.dynamic_programming.admitted" (List.length !config);
+    count "search.dynamic_programming.rejected" (n - List.length !config);
     finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 !config
   end
 
@@ -362,7 +402,8 @@ let dynamic_programming ev set ~budget =
 (* Indexes for every indexable XPath expression in the workload: all basic
    candidates.  The best possible configuration for a query-only workload. *)
 let all_index ev set =
-  let t0 = Unix.gettimeofday () in
+  Trace.with_span "search.all_index" @@ fun () ->
+  let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
   finalize ~algorithm:"all index" ev ~calls_before ~t0 (Candidate.basics set)
 

@@ -1,0 +1,211 @@
+(* Structured tracing: nestable spans with per-domain buffers.
+
+   Each domain records the spans it closes into a domain-local buffer
+   ([Domain.DLS]), so tracing adds no cross-domain contention on the hot
+   path; [flush] merges every buffer into one chronological list.
+
+   Timestamps are monotonized per domain: every timestamp handed out by a
+   buffer is clamped to be >= the previous one from the same buffer.  With
+   spans closed strictly LIFO per domain (guaranteed by [with_span]), this
+   makes two properties hold by construction, and the property tests in
+   test/test_obs.ml check them on the flushed output:
+
+   - well-nestedness: two spans of one domain are either disjoint or one
+     contains the other;
+   - monotonicity: every span's start is <= its stop, and in buffer (close)
+     order stop times never decrease.
+
+   Exporters: Chrome [trace_event] JSON (load in chrome://tracing or
+   https://ui.perfetto.dev) and an indented human-readable text tree. *)
+
+type span = {
+  name : string;
+  args : (string * string) list;
+  tid : int;      (* id of the domain that recorded the span *)
+  seq : int;      (* per-domain close order *)
+  depth : int;    (* nesting depth at open time; 0 = toplevel *)
+  start_s : float;
+  stop_s : float;
+}
+
+(* One per domain.  [spans]/[seq] are written by the owning domain under
+   [lock] (flush reads them from the flushing domain); [last_ts] and [depth]
+   are touched only by the owning domain. *)
+type buffer = {
+  tid : int;
+  lock : Mutex.t;
+  mutable last_ts : float;
+  mutable seq : int;
+  mutable depth : int;
+  mutable spans : span list;  (* reverse close order *)
+}
+
+(* Registry of every buffer ever created, for [flush].  Buffers are appended
+   with a CAS loop; they are never removed (a domain's buffer outlives its
+   batches, and the pool's worker domains live for the whole process). *)
+let buffers : buffer list Atomic.t = Atomic.make []
+
+let rec register buf =
+  let cur = Atomic.get buffers in
+  if not (Atomic.compare_and_set buffers cur (buf :: cur)) then register buf
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let buf =
+        {
+          tid = (Domain.self () :> int);
+          lock = Mutex.create ();
+          last_ts = 0.0;
+          seq = 0;
+          depth = 0;
+          spans = [];
+        }
+      in
+      register buf;
+      buf)
+
+let buffer () = Domain.DLS.get key
+
+(* Monotonized clock read: never goes backwards within one buffer. *)
+let tick buf =
+  let t = Obs.now_s () in
+  if t > buf.last_ts then begin
+    buf.last_ts <- t;
+    t
+  end
+  else buf.last_ts
+
+let no_args () = []
+
+let record buf span =
+  Mutex.lock buf.lock;
+  buf.seq <- buf.seq + 1;
+  buf.spans <- span :: buf.spans;
+  Mutex.unlock buf.lock
+
+let with_span ?(args = no_args) name f =
+  if not (Obs.on ()) then f ()
+  else begin
+    let buf = buffer () in
+    let start_s = tick buf in
+    let depth = buf.depth in
+    buf.depth <- depth + 1;
+    let finally () =
+      buf.depth <- depth;
+      let stop_s = tick buf in
+      record buf
+        { name; args = args (); tid = buf.tid; seq = buf.seq + 1; depth; start_s; stop_s }
+    in
+    Fun.protect ~finally f
+  end
+
+(* Timing helper shared by the advisor, the CLI, the bench harness and the
+   tests (they used to hand-roll gettimeofday pairs): measure [f] and, when
+   tracing is on, also record it as a span. *)
+let timed ?(args = no_args) name f =
+  let t0 = Obs.now_s () in
+  let result = with_span ~args name f in
+  (result, Obs.now_s () -. t0)
+
+let flush () =
+  let drained =
+    List.concat_map
+      (fun buf ->
+        Mutex.lock buf.lock;
+        let spans = buf.spans in
+        buf.spans <- [];
+        Mutex.unlock buf.lock;
+        spans)
+      (Atomic.get buffers)
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare a.start_s b.start_s with
+      | 0 -> ( match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    drained
+
+(* ------------------------------------------------------------ exporters -- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace_event format: one complete ("ph":"X") event per span, one
+   event per line so fixture diffs stay readable.  Timestamps are in
+   microseconds, as the format requires. *)
+let export_chrome spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"xia\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":0,\"tid\":%d"
+           (json_escape s.name) (s.start_s *. 1e6)
+           ((s.stop_s -. s.start_s) *. 1e6)
+           s.tid);
+      if s.args <> [] then begin
+        Buffer.add_string b ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          s.args;
+        Buffer.add_char b '}'
+      end;
+      Buffer.add_char b '}')
+    spans;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+(* Indented tree per domain, chronological within a domain. *)
+let export_text spans =
+  let b = Buffer.create 4096 in
+  let tids =
+    List.sort_uniq compare (List.map (fun (s : span) -> s.tid) spans)
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string b (Printf.sprintf "domain %d\n" tid);
+      List.iter
+        (fun (s : span) ->
+          if s.tid = tid then begin
+            Buffer.add_string b (String.make (2 + (2 * s.depth)) ' ');
+            Buffer.add_string b
+              (Printf.sprintf "%-40s %10.3f ms" s.name
+                 ((s.stop_s -. s.start_s) *. 1e3));
+            if s.args <> [] then begin
+              Buffer.add_string b "  {";
+              List.iteri
+                (fun j (k, v) ->
+                  if j > 0 then Buffer.add_string b ", ";
+                  Buffer.add_string b k;
+                  Buffer.add_char b '=';
+                  Buffer.add_string b v)
+                s.args;
+              Buffer.add_char b '}'
+            end;
+            Buffer.add_char b '\n'
+          end)
+        spans)
+    tids;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)

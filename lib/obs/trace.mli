@@ -1,0 +1,46 @@
+(** Nestable spans with per-domain buffers and monotonized timestamps.
+
+    A span is opened and closed by {!with_span} on the domain that runs the
+    traced code; closed spans accumulate in a domain-local buffer and
+    {!flush} merges every buffer into one chronological list.  Timestamps
+    are clamped per domain so that they never decrease, which makes the
+    flushed output well-nested and monotonic by construction (property
+    tested in [test/test_obs.ml]).
+
+    All entry points are no-ops while {!Obs.enabled} is off. *)
+
+type span = {
+  name : string;
+  args : (string * string) list;
+  tid : int;  (** id of the domain that recorded the span *)
+  seq : int;  (** per-domain close order (1-based) *)
+  depth : int;  (** nesting depth at open time; 0 = toplevel *)
+  start_s : float;
+  stop_s : float;
+}
+
+val with_span : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], recording a span around it when tracing is
+    enabled.  [args] is evaluated once, at span close, and only when tracing
+    is enabled — pass a closure over whatever state describes the work.
+    Exception-safe: the span closes even if [f] raises. *)
+
+val timed : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a * float
+(** [timed name f] is [(f (), elapsed_seconds)], additionally recorded as a
+    span when tracing is enabled.  The shared timing helper for bench / CLI /
+    test code that needs the duration regardless of tracing state. *)
+
+val flush : unit -> span list
+(** Drain every domain's buffer and return all spans sorted by start time
+    (ties broken by domain id, then close order).  Spans are removed: a
+    second flush returns only spans recorded in between. *)
+
+val export_chrome : span list -> string
+(** Chrome [trace_event] JSON (one complete event per span, microsecond
+    timestamps); load into chrome://tracing or ui.perfetto.dev. *)
+
+val export_text : span list -> string
+(** Human-readable per-domain tree, indented by nesting depth. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] writes [contents] to [path] (truncating). *)

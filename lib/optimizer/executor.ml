@@ -259,7 +259,7 @@ let run_plan catalog (plan : Plan.t) =
   let metrics = fresh_metrics () in
   (* Wall-clock, not [Sys.time]: process CPU time exceeds wall time once the
      advisor evaluates on several domains, which made the field nonsense. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Xia_obs.Obs.now_s () in
   let where = where_of_statement plan.Plan.statement in
   let rows =
     match plan.Plan.statement with
@@ -307,7 +307,7 @@ let run_plan catalog (plan : Plan.t) =
           victims;
         List.length victims
   in
-  { rows; metrics; wall_seconds = Unix.gettimeofday () -. t0 }
+  { rows; metrics; wall_seconds = Xia_obs.Obs.now_s () -. t0 }
 
 let run_statement catalog stmt =
   Catalog.refresh_indexes catalog;

@@ -16,7 +16,7 @@ type metrics = {
 type result = {
   rows : int;
   metrics : metrics;
-  wall_seconds : float;  (** elapsed wall-clock time ([Unix.gettimeofday]) *)
+  wall_seconds : float;  (** elapsed wall-clock time ([Xia_obs.Obs.now_s]) *)
 }
 
 (** Replace the direct text content of the elements matched by the target

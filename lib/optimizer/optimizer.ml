@@ -247,7 +247,12 @@ let modify_cost_per_doc tstats ~factor =
   (avg_doc_pages tstats *. C.sequential_page_cost *. factor)
   +. (avg_doc_elements tstats *. C.cpu_per_node)
 
-let optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
+(* Every what-if call's latency, for the advisor's observability layer.
+   Lazy so the metric only registers once an instrumented call runs. *)
+let optimize_latency =
+  lazy (Xia_obs.Metrics.histogram "optimizer.optimize_latency_us")
+
+let do_optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
   Atomic.incr counters.optimize_calls;
   let bindings = Rewriter.bindings_of_statement stmt in
   let planned = List.map (plan_binding ?virtual_config catalog mode) bindings in
@@ -272,6 +277,16 @@ let optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
       in
       let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:2.0) in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
+
+let optimize ?mode ?virtual_config catalog stmt =
+  if not (Xia_obs.Obs.on ()) then do_optimize ?mode ?virtual_config catalog stmt
+  else begin
+    let t0 = Xia_obs.Obs.now_s () in
+    let plan = do_optimize ?mode ?virtual_config catalog stmt in
+    Xia_obs.Metrics.observe_s (Lazy.force optimize_latency)
+      (Xia_obs.Obs.now_s () -. t0);
+    plan
+  end
 
 let statement_cost ?mode ?virtual_config catalog stmt =
   (optimize ?mode ?virtual_config catalog stmt).Plan.total_cost

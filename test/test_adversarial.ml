@@ -60,18 +60,23 @@ let pattern_tests =
         Alcotest.(check bool) "deep" true
           (Pat.accepts p (List.init 10 (fun _ -> "n") @ [ "leaf" ])));
     tc "containment of many-branch patterns terminates quickly" (fun () ->
-        let t0 = Unix.gettimeofday () in
         let g = Pat.of_string "//a//b//c//d//e" in
         let s = Pat.of_string "/a/x/b/y/c/z/d/w/e" in
-        Alcotest.(check bool) "covers" true (Pat.covers ~general:g ~specific:s);
-        Alcotest.(check bool) "fast" true (Unix.gettimeofday () -. t0 < 1.0));
+        let covers, elapsed =
+          Xia_obs.Trace.timed "test.pattern_containment" (fun () ->
+              Pat.covers ~general:g ~specific:s)
+        in
+        Alcotest.(check bool) "covers" true covers;
+        Alcotest.(check bool) "fast" true (elapsed < 1.0));
     tc "generalization of long dissimilar patterns terminates" (fun () ->
         let a = Pat.of_string "/a/b/c/d/e/f/g/h" in
         let b = Pat.of_string "/a/h/g/f/e/d/c/b" in
-        let t0 = Unix.gettimeofday () in
-        let results = Xia_advisor.Generalize.pair a b in
+        let results, elapsed =
+          Xia_obs.Trace.timed "test.generalize_pair" (fun () ->
+              Xia_advisor.Generalize.pair a b)
+        in
         Alcotest.(check bool) "nonempty" true (results <> []);
-        Alcotest.(check bool) "fast" true (Unix.gettimeofday () -. t0 < 1.0);
+        Alcotest.(check bool) "fast" true (elapsed < 1.0);
         List.iter
           (fun g ->
             Alcotest.(check bool) "covers both" true

@@ -1,7 +1,7 @@
 (* The xia_lint static analyzer (lib/analysis): every check ID gets a
-   positive hit, a negative non-hit and (for D001/D002/H002) a suppression
-   path, plus the self-check that the repository's own lib/ is lint-clean
-   under the checked-in allow file. *)
+   positive hit, a negative non-hit and (for D001/D002/D004/H002) a
+   suppression path, plus the self-check that the repository's own lib/ is
+   lint-clean under the checked-in allow file. *)
 
 module Lint = Xia_analysis.Lint
 module Checks = Xia_analysis.Checks
@@ -104,11 +104,39 @@ let d002_tests =
         check_ids "both flagged"
           [ (1, "D002"); (2, "D002") ]
           "let f () = Sys.time ()\nlet g = [ Sys.time ]\n");
-    tc "Unix.gettimeofday not hit" (fun () ->
+    tc "Unix.gettimeofday not hit (that is D004's territory)" (fun () ->
         check_ids "clean" [] "let f () = Unix.gettimeofday ()\n");
     tc "attribute suppression" (fun () ->
         check_ids "suppressed" []
           "let cpu_seconds () = (Sys.time () [@lint.allow \"D002\"])\n");
+  ]
+
+(* ---------------------------------------------------------------- D004 -- *)
+
+let d004_tests =
+  [
+    tc "gettimeofday in lib/ hit (also as a function value)" (fun () ->
+        check_ids "both flagged" ~filename:"lib/core/search.ml"
+          [ (1, "D004"); (2, "D004") ]
+          "let f () = Unix.gettimeofday ()\nlet g = [ Unix.gettimeofday ]\n");
+    tc "lib/obs/ is the sanctioned home, not hit" (fun () ->
+        check_ids "clean" [] ~filename:"lib/obs/obs.ml"
+          "let now_s () = Unix.gettimeofday ()\n");
+    tc "non-library code (bin/, bench/, test/) not hit" (fun () ->
+        let src = "let t0 = fun () -> Unix.gettimeofday ()\n" in
+        check_ids "bin clean" [] ~filename:"bin/xia_advise.ml" src;
+        check_ids "bench clean" [] ~filename:"bench/main.ml" src;
+        check_ids "test clean" [] ~filename:"test/helpers.ml" src);
+    tc "relative lib path still applies" (fun () ->
+        check_ids "flagged" ~filename:"../lib/optimizer/executor.ml"
+          [ (1, "D004") ]
+          "let stamp () = Unix.gettimeofday ()\n");
+    tc "Obs.now_s not hit" (fun () ->
+        check_ids "clean" [] ~filename:"lib/core/benefit.ml"
+          "let stamp () = Xia_obs.Obs.now_s ()\n");
+    tc "attribute suppression" (fun () ->
+        check_ids "suppressed" [] ~filename:"lib/core/par.ml"
+          "let raw () = (Unix.gettimeofday () [@lint.allow \"D004\"])\n");
   ]
 
 (* ---------------------------------------------------------------- D003 -- *)
@@ -309,6 +337,7 @@ let suites =
     ("lint.d001", d001_tests);
     ("lint.d002", d002_tests);
     ("lint.d003", d003_tests);
+    ("lint.d004", d004_tests);
     ("lint.h001", h001_tests);
     ("lint.h002", h002_tests);
     ("lint.allow_file", allow_file_tests);

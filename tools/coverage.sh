@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Coverage build over lib/ via bisect_ppx.
+#
+# bisect_ppx is an *optional* dependency: every lib/*/dune declares
+# (instrumentation (backend bisect_ppx)), which dune treats as inert unless
+# a build passes --instrument-with bisect_ppx, so the default build and the
+# test suite never need the backend installed.
+#
+#   dune build @coverage    report whether the backend is installed
+#   ./tools/coverage.sh     instrumented test run + HTML/summary report
+#
+# The first positional argument (supplied by the @coverage alias as
+# %{lib-available:bisect_ppx}) short-circuits the availability probe.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+available="${1:-}"
+if [ -z "$available" ]; then
+  if command -v ocamlfind >/dev/null 2>&1 \
+     && ocamlfind query bisect_ppx >/dev/null 2>&1; then
+    available=true
+  else
+    available=false
+  fi
+fi
+
+if [ "$available" != "true" ]; then
+  echo "coverage: bisect_ppx is not installed; skipping the instrumented build."
+  echo "coverage: 'opam install bisect_ppx' then re-run ./tools/coverage.sh"
+  exit 0
+fi
+
+if [ -n "${INSIDE_DUNE:-}" ]; then
+  # Invoked from the @coverage alias: a nested dune build would contend for
+  # the lock of the build that is running this action, so only report.
+  echo "coverage: bisect_ppx is installed."
+  echo "coverage: run ./tools/coverage.sh directly for the instrumented build and report."
+  exit 0
+fi
+
+rm -f _build/default/test/bisect*.coverage
+dune build --instrument-with bisect_ppx --force @runtest
+bisect-ppx-report html -o _coverage _build/default/test/bisect*.coverage
+bisect-ppx-report summary _build/default/test/bisect*.coverage
+echo "coverage: HTML report in _coverage/index.html"
