@@ -665,6 +665,17 @@ let micro () =
              ignore (Benefit.individual_benefit ev (List.hd basics))));
       Test.make ~name:"advisor.enumerate_workload"
         (Staged.stage (fun () -> ignore (Enumeration.basic_candidates catalog workload)));
+      (* Whole-program lint over lib/: parse every unit, build the cross-unit
+         call graph, run all checks.  The directory probe covers both launch
+         modes (dune exec from the checkout root; @bench-quick from the build
+         context, where the lib/ sources are materialized next to the exe). *)
+      (let lint_dir =
+         List.find_opt Sys.file_exists [ "lib"; "../lib"; "../../lib" ]
+         |> Option.value ~default:"lib"
+       in
+       Test.make ~name:"lint"
+         (Staged.stage (fun () ->
+              ignore (Xia_analysis.Lint.lint_paths [ lint_dir ]))));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -1,10 +1,14 @@
 (* xia_lint — domain-safety and hygiene analyzer for this repository.
 
-   Usage: xia_lint [--json] [--allow-file FILE] [--whatif-modules a,b] PATH...
+   Usage: xia_lint [--json] [--allow-file FILE] [--whatif-modules a,b]
+                   [--callgraph] [--explain ID] PATH...
 
-   Lints every .ml under the given paths (default: lib) with the check
-   catalog in Xia_analysis.Checks.  Exit codes: 0 clean, 1 findings,
-   2 usage/parse/allow-file errors. *)
+   Lints every .ml under the given paths (default: lib) as one program: the
+   whole library set is parsed once, a cross-unit call graph is built from
+   it, and the check catalog in Xia_analysis.Checks / Xia_analysis.Races
+   runs over the shared graph.  --callgraph prints the graph as Graphviz DOT
+   instead of linting; --explain ID prints one check's documentation.
+   Exit codes: 0 clean, 1 findings, 2 usage/parse/allow-file errors. *)
 
 module Lint = Xia_analysis.Lint
 module Checks = Xia_analysis.Checks
@@ -13,12 +17,20 @@ module Suppress = Xia_analysis.Suppress
 
 let () =
   let json = ref false in
+  let callgraph = ref false in
+  let explain = ref "" in
   let allow_file = ref "" in
   let whatif = ref "" in
   let paths = ref [] in
   let spec =
     [
-      ("--json", Arg.Set json, " emit findings as a JSON array");
+      ("--json", Arg.Set json, " emit the versioned JSON report");
+      ( "--callgraph",
+        Arg.Set callgraph,
+        " print the cross-unit call graph as Graphviz DOT and exit" );
+      ( "--explain",
+        Arg.Set_string explain,
+        "ID print one check's title and rationale and exit" );
       ( "--allow-file",
         Arg.Set_string allow_file,
         "FILE per-site suppressions (ID path[:line] -- reason)" );
@@ -28,9 +40,29 @@ let () =
          benefit,optimizer)" );
     ]
   in
-  let usage = "xia_lint [--json] [--allow-file FILE] PATH..." in
+  let usage =
+    "xia_lint [--json] [--allow-file FILE] [--callgraph] [--explain ID] PATH..."
+  in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !explain <> "" then begin
+    match Checks.find_check !explain with
+    | Some c ->
+        Printf.printf "%s — %s\n\n%s\n" c.Checks.id c.Checks.title c.Checks.detail;
+        exit 0
+    | None ->
+        Printf.eprintf "xia_lint: unknown check ID %s (known: %s)\n" !explain
+          (String.concat ", " (List.map (fun c -> c.Checks.id) Checks.catalog));
+        exit 2
+  end;
   let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  if !callgraph then begin
+    let dot, errors = Lint.callgraph_dot paths in
+    List.iter
+      (fun (e : Lint.error) -> Printf.eprintf "xia_lint: %s: %s\n" e.path e.message)
+      errors;
+    print_string dot;
+    exit (if errors = [] then 0 else 2)
+  end;
   let config =
     if !whatif = "" then Checks.default_config
     else
@@ -57,7 +89,7 @@ let () =
       report.Lint.errors;
     exit 2
   end;
-  if !json then print_string (Finding.list_to_json report.Lint.findings)
+  if !json then print_string (Lint.report_to_json report)
   else begin
     List.iter (fun f -> print_endline (Finding.to_string f)) report.Lint.findings;
     if report.Lint.findings <> [] then

@@ -1,0 +1,410 @@
+(* Cross-compilation-unit call graph over the untyped parsetree.
+
+   The linter sees [Longident] paths, not resolved values, so this module
+   reconstructs just enough of OCaml's name resolution to connect toplevel
+   bindings across units:
+
+   - the dune library layout ([lib/index/dune] declaring [(name xia_index)]
+     makes [Xia_index.Catalog] resolve to [lib/index/catalog.ml]);
+   - toplevel module aliases ([module Catalog = Xia_index.Catalog]), expanded
+     to a fixpoint before resolution;
+   - toplevel [open]s, tried as qualification prefixes;
+   - sibling units: within one library directory, [Catalog.stats] resolves to
+     [catalog.ml] next door.
+
+   Resolution is conservative on ambiguity: every plausible target becomes an
+   edge, so reachability over-approximates the real program.  What it cannot
+   see — first-class functions passed as arguments, functor applications,
+   shadowing by local modules — is documented in DESIGN.md §5f; clients must
+   treat absence of a path as "not proven reachable", never "unreachable
+   proven". *)
+
+open Parsetree
+
+type unit_info = {
+  path : string;      (* as given to the driver, e.g. "lib/core/benefit.ml" *)
+  basename : string;  (* lowercase, extension-stripped: "benefit" *)
+  modname : string;   (* the unit's module name: "Benefit" *)
+  dir : string;       (* Filename.dirname path *)
+  source : string;
+  structure : structure;
+}
+
+type node = {
+  u : unit_info;
+  name : string;  (* toplevel binding name; dotted inside nested modules *)
+  expr : expression;
+  attrs : attributes;
+  loc : Location.t;
+}
+
+let make_unit ~path ~source structure =
+  let base = Filename.remove_extension (Filename.basename path) in
+  {
+    path;
+    basename = String.lowercase_ascii base;
+    modname = String.capitalize_ascii base;
+    dir = Filename.dirname path;
+    source;
+    structure;
+  }
+
+(* ------------------------------------------------- per-unit collection -- *)
+
+(* Toplevel [module X = Path] aliases and [open Path] statements.  Only the
+   unit toplevel is scanned: aliases inside nested modules or expressions are
+   rare in this codebase and ignoring them only loses edges for code that
+   also hides from qualified matching. *)
+let scan_toplevel structure =
+  let aliases = Hashtbl.create 8 in
+  let opens = ref [] in
+  List.iter
+    (fun (item : structure_item) ->
+      match item.pstr_desc with
+      | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } -> (
+          match pmb_expr.pmod_desc with
+          | Pmod_ident lid -> Hashtbl.replace aliases name (Longident.flatten lid.txt)
+          | _ -> ())
+      | Pstr_open { popen_expr = { pmod_desc = Pmod_ident lid; _ }; _ } ->
+          opens := Longident.flatten lid.txt :: !opens
+      | _ -> ())
+    structure;
+  (aliases, List.rev !opens)
+
+let binding_name (vb : value_binding) =
+  let rec of_pat (p : pattern) =
+    match p.ppat_desc with
+    | Ppat_var v -> Some v.txt
+    | Ppat_constraint (p, _) -> of_pat p
+    | _ -> None
+  in
+  of_pat vb.pvb_pat
+
+(* Toplevel value bindings of a unit, recursing into named nested modules
+   with dotted names ("Cache.find_or_compute").  Bindings with non-variable
+   patterns still run at module initialization; they get a synthetic
+   "(init:LINE)" name so their call sites participate in reachability. *)
+let collect_bindings u =
+  let acc = ref [] in
+  let rec items prefix stack =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                let name =
+                  match binding_name vb with
+                  | Some n -> prefix ^ n
+                  | None ->
+                      Printf.sprintf "%s(init:%d)" prefix
+                        vb.pvb_loc.Location.loc_start.Lexing.pos_lnum
+                in
+                acc :=
+                  {
+                    u;
+                    name;
+                    expr = vb.pvb_expr;
+                    attrs = vb.pvb_attributes;
+                    loc = vb.pvb_loc;
+                  }
+                  :: !acc)
+              vbs
+        | Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ } ->
+            module_expr (prefix ^ name ^ ".") pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter
+              (fun (mb : module_binding) ->
+                match mb.pmb_name.txt with
+                | Some name -> module_expr (prefix ^ name ^ ".") mb.pmb_expr
+                | None -> ())
+              mbs
+        | Pstr_include incl -> module_expr prefix incl.pincl_mod
+        | _ -> ())
+      stack
+  and module_expr prefix me =
+    match me.pmod_desc with
+    | Pmod_structure s -> items prefix s
+    | Pmod_constraint (me, _) -> module_expr prefix me
+    | _ -> ()
+  in
+  items "" u.structure;
+  List.rev !acc
+
+(* ------------------------------------------------------- library layout -- *)
+
+(* Extract the wrapped-library module name from a dune file: the token after
+   the first [(name] inside a [(library] stanza, capitalized.  Good enough
+   for this repository's one-library-per-directory layout; a directory whose
+   dune cannot be read simply contributes no library-qualified names. *)
+let library_name_of_dune contents =
+  let find_sub ~start needle =
+    let n = String.length needle and m = String.length contents in
+    let rec scan i =
+      if i + n > m then None
+      else if String.sub contents i n = needle then Some i
+      else scan (i + 1)
+    in
+    scan start
+  in
+  match find_sub ~start:0 "(library" with
+  | None -> None
+  | Some lib_at -> (
+      match find_sub ~start:lib_at "(name" with
+      | None -> None
+      | Some name_at ->
+          let m = String.length contents in
+          let rec skip_ws i =
+            if i < m && (contents.[i] = ' ' || contents.[i] = '\n' || contents.[i] = '\t')
+            then skip_ws (i + 1)
+            else i
+          in
+          let start = skip_ws (name_at + 5) in
+          let rec tok i =
+            if
+              i < m
+              && contents.[i] <> ')'
+              && contents.[i] <> ' '
+              && contents.[i] <> '\n'
+              && contents.[i] <> '\t'
+            then tok (i + 1)
+            else i
+          in
+          let stop = tok start in
+          if stop > start then
+            Some (String.capitalize_ascii (String.sub contents start (stop - start)))
+          else None)
+
+let read_file_opt path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* ----------------------------------------------------------- the graph -- *)
+
+type t = {
+  units : unit_info list;
+  node_tbl : (string * string, node) Hashtbl.t;  (* (unit path, name) -> node *)
+  node_list : node list;
+  by_dir_mod : (string * string, unit_info) Hashtbl.t;  (* (dir, Modname) *)
+  by_mod : (string, unit_info list) Hashtbl.t;          (* Modname -> units *)
+  lib_dir : (string, string) Hashtbl.t;  (* "Xia_index" -> source dir *)
+  aliases : (string, (string, string list) Hashtbl.t) Hashtbl.t;  (* unit path *)
+  opens : (string, string list list) Hashtbl.t;                   (* unit path *)
+  succ : (string * string, (string * string) list) Hashtbl.t;
+  pred : (string * string, (string * string) list) Hashtbl.t;
+}
+
+let key n = (n.u.path, n.name)
+
+let units t = t.units
+let nodes t = t.node_list
+let find_node t ~unit_path ~name = Hashtbl.find_opt t.node_tbl (unit_path, name)
+
+(* Expand leading module-alias components to a fixpoint (bounded: an alias
+   chain longer than the alias table is a cycle). *)
+let expand t (u : unit_info) path =
+  let tbl = Hashtbl.find_opt t.aliases u.path in
+  match tbl with
+  | None -> path
+  | Some aliases ->
+      let budget = Hashtbl.length aliases + 1 in
+      let rec go budget path =
+        if budget <= 0 then path
+        else
+          match path with
+          | head :: rest when Hashtbl.mem aliases head ->
+              go (budget - 1) (Hashtbl.find aliases head @ rest)
+          | _ -> path
+      in
+      go budget path
+
+(* Resolve an absolute (alias-free) dotted path seen from [u] to nodes.
+   Collects every plausible target; sorts for determinism. *)
+let resolve_abs t (u : unit_info) path =
+  let node_in unit name =
+    match Hashtbl.find_opt t.node_tbl (unit.path, name) with
+    | Some n -> [ n ]
+    | None -> []
+  in
+  match path with
+  | [] -> []
+  | [ n ] -> node_in u n
+  | m :: rest -> (
+      let dotted = String.concat "." rest in
+      let via_library =
+        match Hashtbl.find_opt t.lib_dir m with
+        | Some dir -> (
+            match rest with
+            | sub :: fs -> (
+                match Hashtbl.find_opt t.by_dir_mod (dir, sub) with
+                | Some unit when fs <> [] -> node_in unit (String.concat "." fs)
+                | _ -> [])
+            | [] -> [])
+        | None -> []
+      in
+      let via_sibling =
+        match Hashtbl.find_opt t.by_dir_mod (u.dir, m) with
+        | Some unit -> node_in unit dotted
+        | None -> []
+      in
+      let via_nested = node_in u (String.concat "." path) in
+      match via_library @ via_sibling @ via_nested with
+      | [] ->
+          (* Last resort, conservative: any unit anywhere with this module
+             name (an [open]ed library we failed to trace, or a test
+             project without dune metadata). *)
+          List.concat_map
+            (fun unit -> node_in unit dotted)
+            (Option.value ~default:[] (Hashtbl.find_opt t.by_mod m))
+      | found -> found)
+
+let resolve t (u : unit_info) path =
+  let path = expand t u path in
+  let direct = resolve_abs t u path in
+  let via_opens =
+    List.concat_map
+      (fun o -> resolve_abs t u (expand t u o @ path))
+      (Option.value ~default:[] (Hashtbl.find_opt t.opens u.path))
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun n ->
+      let k = key n in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    (direct @ via_opens)
+
+let succs t n =
+  List.filter_map
+    (fun k -> Hashtbl.find_opt t.node_tbl k)
+    (Option.value ~default:[] (Hashtbl.find_opt t.succ (key n)))
+
+let preds t n =
+  List.filter_map
+    (fun k -> Hashtbl.find_opt t.node_tbl k)
+    (Option.value ~default:[] (Hashtbl.find_opt t.pred (key n)))
+
+(* All nodes from which [n] is transitively reachable, including [n]. *)
+let reaching t n =
+  let seen = Hashtbl.create 16 in
+  let rec visit n =
+    let k = key n in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k n;
+      List.iter visit (preds t n)
+    end
+  in
+  visit n;
+  Hashtbl.fold (fun _ n acc -> n :: acc) seen []
+  |> List.sort (fun a b -> compare (key a) (key b))
+
+let build units_in =
+  let units = List.sort (fun a b -> String.compare a.path b.path) units_in in
+  let node_tbl = Hashtbl.create 256 in
+  let by_dir_mod = Hashtbl.create 64 in
+  let by_mod = Hashtbl.create 64 in
+  let lib_dir = Hashtbl.create 16 in
+  let aliases = Hashtbl.create 64 in
+  let opens = Hashtbl.create 64 in
+  let all_nodes = ref [] in
+  List.iter
+    (fun u ->
+      Hashtbl.replace by_dir_mod (u.dir, u.modname) u;
+      Hashtbl.replace by_mod u.modname
+        (Option.value ~default:[] (Hashtbl.find_opt by_mod u.modname) @ [ u ]);
+      let als, ops = scan_toplevel u.structure in
+      Hashtbl.replace aliases u.path als;
+      Hashtbl.replace opens u.path ops;
+      let ns = collect_bindings u in
+      List.iter (fun n -> Hashtbl.replace node_tbl (key n) n) ns;
+      all_nodes := !all_nodes @ ns)
+    units;
+  let dirs = List.sort_uniq String.compare (List.map (fun u -> u.dir) units) in
+  List.iter
+    (fun dir ->
+      match read_file_opt (Filename.concat dir "dune") with
+      | None -> ()
+      | Some contents -> (
+          match library_name_of_dune contents with
+          | Some libmod -> Hashtbl.replace lib_dir libmod dir
+          | None -> ()))
+    dirs;
+  let t =
+    {
+      units;
+      node_tbl;
+      node_list = !all_nodes;
+      by_dir_mod;
+      by_mod;
+      lib_dir;
+      aliases;
+      opens;
+      succ = Hashtbl.create 256;
+      pred = Hashtbl.create 256;
+    }
+  in
+  (* Edges: every [Pexp_ident] in a node's body that resolves to other nodes.
+     A value reference counts the same as a call — conservative for
+     reachability (a binding stored in a data structure may be invoked
+     later). *)
+  List.iter
+    (fun n ->
+      let targets = Hashtbl.create 8 in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident lid ->
+                  List.iter
+                    (fun tgt ->
+                      let tk = key tgt in
+                      if tk <> key n then Hashtbl.replace targets tk ())
+                    (resolve t n.u (Longident.flatten lid.txt))
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      it.expr it n.expr;
+      let tks = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) targets []) in
+      Hashtbl.replace t.succ (key n) tks;
+      List.iter
+        (fun tk ->
+          Hashtbl.replace t.pred tk
+            (Option.value ~default:[] (Hashtbl.find_opt t.pred tk) @ [ key n ]))
+        tks)
+    t.node_list;
+  t
+
+(* ------------------------------------------------------------------ DOT -- *)
+
+let dot_id n = Printf.sprintf "%s.%s" n.u.basename n.name
+
+let to_dot t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) t.node_list in
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [tooltip=\"%s\"];\n" (dot_id n) n.u.path))
+    sorted;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "  \"%s\" -> \"%s\";\n" (dot_id n) (dot_id s)))
+        (succs t n))
+    sorted;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Cross-compilation-unit call graph over the untyped parsetree.
+
+    Nodes are toplevel value bindings (dotted names inside nested modules);
+    edges connect a binding to every binding its body may reference, resolving
+    [Longident] paths through the dune library layout, toplevel module
+    aliases and [open]s — conservatively on ambiguity, so reachability
+    over-approximates the real program.  See DESIGN.md §5f for the soundness
+    and incompleteness trade-offs. *)
+
+type unit_info = {
+  path : string;      (** as given to the driver, e.g. "lib/core/benefit.ml" *)
+  basename : string;  (** lowercase, extension-stripped: "benefit" *)
+  modname : string;   (** the unit's module name: "Benefit" *)
+  dir : string;       (** [Filename.dirname path] *)
+  source : string;
+  structure : Parsetree.structure;
+}
+
+type node = {
+  u : unit_info;
+  name : string;  (** toplevel binding name; dotted inside nested modules *)
+  expr : Parsetree.expression;
+  attrs : Parsetree.attributes;
+  loc : Location.t;
+}
+
+type t
+
+val make_unit : path:string -> source:string -> Parsetree.structure -> unit_info
+
+(** Build the graph: collect bindings, aliases and opens per unit, read each
+    unit directory's [dune] file for the wrapped-library module name, then
+    resolve every identifier reference to edges. *)
+val build : unit_info list -> t
+
+val units : t -> unit_info list
+val nodes : t -> node list
+val find_node : t -> unit_path:string -> name:string -> node option
+
+(** Stable node identity: [(unit path, binding name)]. *)
+val key : node -> string * string
+
+(** Alias-expand the leading components of a dotted path as seen from a
+    unit (e.g. [\["Catalog"; "stats"\]] to
+    [\["Xia_index"; "Catalog"; "stats"\]]). *)
+val expand : t -> unit_info -> string list -> string list
+
+(** Every node a dotted path may denote, seen from [unit_info] (alias
+    expansion, library qualification, sibling units, [open]s; all plausible
+    targets on ambiguity). *)
+val resolve : t -> unit_info -> string list -> node list
+
+val succs : t -> node -> node list
+val preds : t -> node -> node list
+
+(** All nodes from which the given node is transitively reachable, including
+    itself; sorted by [key]. *)
+val reaching : t -> node -> node list
+
+(** Deterministic Graphviz rendering (nodes and edges sorted). *)
+val to_dot : t -> string

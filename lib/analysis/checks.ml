@@ -1,27 +1,19 @@
 (* The check catalog, implemented over the untyped parsetree
-   (compiler-libs [Parse] + [Ast_iterator]).  Every check has a stable ID:
+   (compiler-libs [Parse] + [Ast_iterator]).  Every check has a stable ID;
+   [catalog] below is the single source of truth for IDs, titles and the
+   [--explain] text.
 
-   D001  module-toplevel mutable state not wrapped in
-         Atomic/Domain.DLS/Mutex/Lazy — the PR-1 data-race bug class.
-         Includes state captured by a toplevel closure
-         ([let f = let memo = ref None in fun () -> ...]).
-   D002  [Sys.time] used for timing: it measures process CPU time, which
-         diverges from wall-clock the moment work runs on several domains.
-   D003  catalog/store mutation reachable from the what-if evaluation
-         modules (call-graph approximation), enforcing the reentrancy
-         contract: a what-if evaluation must never mutate shared state.
-   D004  [Unix.gettimeofday] called from lib/ code outside lib/obs/:
-         library code must read wall-clock through [Xia_obs.Obs.now_s]
-         (one sanctioned clock keeps tracing timestamps and ad-hoc timing
-         on the same axis, and keeps the instrumentation greppable).
-   H001  a module without an .mli interface (bin/ and bench/ executable
-         directories exempt: entry points have no importable surface).
-   H002  [failwith]/[assert false] without a [(* lint: reason *)] note.
+   Unit-local checks (this file): D001, D002, D004, H002 walk one
+   compilation unit's parsetree; H001 is filesystem-level.  Whole-program
+   checks: D003 (below) runs interprocedural reachability over the
+   cross-unit call graph built by [Callgraph]; the R-series race checks
+   live in [Races] on the same graph.
 
-   The analysis is syntactic and unscoped by design: it sees [Longident]
-   paths, not resolved values, so a module alias that renames [Hashtbl] can
-   evade it and a local [let ref = ...] can false-positive.  Neither occurs
-   in this codebase; suppressions cover intentional exceptions. *)
+   Identifier references are matched on [Longident] paths after module-alias
+   expansion through the graph — full name resolution (shadowing, functors,
+   first-class modules) is out of scope, so a local [let ref = ...] can
+   still false-positive and a functor-wrapped mutation can hide.  Neither
+   occurs in this codebase; suppressions cover intentional exceptions. *)
 
 open Parsetree
 
@@ -325,104 +317,68 @@ let mutator_of_path path =
       Some ("Doc_store." ^ f)
   | _ -> None
 
-let binding_name (vb : value_binding) =
-  let rec of_pat (p : pattern) =
-    match p.ppat_desc with
-    | Ppat_var v -> Some v.txt
-    | Ppat_constraint (p, _) -> of_pat p
-    | _ -> None
-  in
-  of_pat vb.pvb_pat
-
-(* Per-toplevel-binding facts: locally-called toplevel names and direct
-   mutator call sites (post attribute suppression). *)
-let d003_scan_binding ~top_names (vb : value_binding) =
-  let calls = Hashtbl.create 8 in
-  let sites = ref [] in
-  let stack = ref [ Suppress.allow_ids vb.pvb_attributes ] in
-  let active id = List.exists (List.mem id) !stack in
-  let check (e : expression) =
-    match e.pexp_desc with
-    | Pexp_ident { txt = Longident.Lident n; _ } when Hashtbl.mem top_names n ->
-        Hashtbl.replace calls n ()
-    | Pexp_ident lid -> (
-        match mutator_of_path (Longident.flatten lid.txt) with
-        | Some m when not (active "D003") -> sites := (e.pexp_loc, m) :: !sites
-        | _ -> ())
-    | _ -> ()
-  in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun it e ->
-          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
-          check e;
-          Ast_iterator.default_iterator.expr it e;
-          stack := List.tl !stack);
-    }
-  in
-  it.expr it vb.pvb_expr;
-  (calls, List.rev !sites)
-
-let check_d003 structure =
-  let top_names = Hashtbl.create 32 in
-  let bindings =
-    List.concat_map
-      (fun (item : structure_item) ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.map
-              (fun vb ->
-                (Option.value ~default:"(module initialization)" (binding_name vb), vb))
-              vbs
-        | _ -> [])
-      structure
-  in
-  List.iter
-    (fun (name, _) ->
-      if name <> "(module initialization)" then Hashtbl.replace top_names name ())
-    bindings;
-  let scanned =
-    List.map (fun (name, vb) -> (name, d003_scan_binding ~top_names vb)) bindings
-  in
-  (* callers.(callee) = toplevel bindings whose body references callee *)
-  let callers = Hashtbl.create 32 in
-  List.iter
-    (fun (name, (calls, _)) ->
-      Hashtbl.iter
-        (fun callee () ->
-          Hashtbl.replace callers callee
-            (name :: Option.value ~default:[] (Hashtbl.find_opt callers callee)))
-        calls)
-    scanned;
-  (* All toplevel bindings from which [name] is transitively reachable. *)
-  let reaching name =
-    let seen = Hashtbl.create 8 in
-    let rec visit n =
-      if not (Hashtbl.mem seen n) then begin
-        Hashtbl.replace seen n ();
-        List.iter visit (Option.value ~default:[] (Hashtbl.find_opt callers n))
-      end
-    in
-    visit name;
-    Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort String.compare
-  in
+(* Whole-program D003: a mutator call site — in any unit — fires when some
+   binding of a what-if module can reach it through the cross-unit call
+   graph.  Mutator paths are matched after alias expansion
+   ([Catalog.runstats], [Xia_index.Catalog.runstats], or any local alias of
+   either), so the check polices the catalog/store API boundary; mutation
+   smuggled through an unqualified internal helper of the mutated module
+   itself is out of reach (DESIGN.md §5f).  The reachable-entries list in
+   the message names every binding the site is reachable from, qualified
+   with the unit module name when it lives in another unit. *)
+let check_d003_program ~config graph =
+  let is_whatif (u : Callgraph.unit_info) = List.mem u.basename config.whatif_modules in
   List.concat_map
-    (fun (name, (_, sites)) ->
-      List.map
-        (fun (loc, mutator) ->
-          let entries = reaching name in
-          let message =
-            Printf.sprintf
-              "catalog/store mutation %s on a what-if evaluation path (in %s, \
-               reachable from: %s); what-if evaluation must not mutate shared \
-               state — pass ?virtual_config instead"
-              mutator name (String.concat ", " entries)
-          in
-          Finding.of_location ~id:"D003" ~message loc)
-        sites)
-    scanned
+    (fun (n : Callgraph.node) ->
+      let sites = ref [] in
+      let stack = ref [ Suppress.allow_ids n.attrs ] in
+      let active id = List.exists (List.mem id) !stack in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+              (match e.pexp_desc with
+              | Pexp_ident lid -> (
+                  match
+                    mutator_of_path (Callgraph.expand graph n.u (Longident.flatten lid.txt))
+                  with
+                  | Some m when not (active "D003") -> sites := (e.pexp_loc, m) :: !sites
+                  | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e;
+              stack := List.tl !stack);
+        }
+      in
+      it.expr it n.expr;
+      match List.rev !sites with
+      | [] -> []
+      | sites ->
+          let reaching = Callgraph.reaching graph n in
+          if not (List.exists (fun (r : Callgraph.node) -> is_whatif r.u) reaching) then
+            []
+          else
+            let entries =
+              List.map
+                (fun (r : Callgraph.node) ->
+                  if String.equal r.u.path n.u.path then r.name
+                  else r.u.modname ^ "." ^ r.name)
+                reaching
+              |> List.sort String.compare
+            in
+            List.map
+              (fun (loc, mutator) ->
+                let message =
+                  Printf.sprintf
+                    "catalog/store mutation %s on a what-if evaluation path (in %s, \
+                     reachable from: %s); what-if evaluation must not mutate shared \
+                     state — pass ?virtual_config instead"
+                    mutator n.name (String.concat ", " entries)
+                in
+                Finding.of_location ~id:"D003" ~message loc)
+              sites)
+    (Callgraph.nodes graph)
 
 (* ---------------------------------------------------------------- H001 -- *)
 
@@ -453,18 +409,115 @@ let missing_mli ~mls ~mlis =
 
 (* ------------------------------------------------------------- driver -- *)
 
-(* All parsetree-level checks for one compilation unit.  [source] is the raw
-   text (for lint-note comments); H001 is filesystem-level and lives in
-   [missing_mli]. *)
-let check_structure ~config ~filename ~source structure =
+(* Unit-local parsetree checks for one compilation unit.  [source] is the
+   raw text (for lint-note comments); H001 is filesystem-level and lives in
+   [missing_mli]; D003 and the R-series are whole-program
+   ([check_d003_program], [Races.check]). *)
+let check_structure ~filename ~source structure =
   let notes = Suppress.lint_note_lines source in
-  let basename =
-    String.lowercase_ascii (Filename.remove_extension (Filename.basename filename))
-  in
-  let d003 =
-    if List.mem basename config.whatif_modules then check_d003 structure else []
-  in
   List.sort Finding.compare
-    (check_d001 structure
-    @ check_exprs ~notes ~d004:(d004_applies filename) structure
-    @ d003)
+    (check_d001 structure @ check_exprs ~notes ~d004:(d004_applies filename) structure)
+
+(* ------------------------------------------------------ check catalog -- *)
+
+type check_info = {
+  id : string;
+  title : string;   (* one line, also emitted in the --json "checks" array *)
+  detail : string;  (* the --explain ID text *)
+}
+
+let catalog =
+  [
+    {
+      id = "D001";
+      title = "module-toplevel mutable state";
+      detail =
+        "A module-toplevel binding that evaluates to raw mutable state (ref, \
+         Hashtbl, Buffer, Queue, array, record literal with mutable fields, or \
+         a closure capturing one) is shared by every domain that touches the \
+         module.  Wrap it in Atomic, Domain.DLS, Mutex or Lazy, or allocate it \
+         per instance.";
+    };
+    {
+      id = "D002";
+      title = "Sys.time used for timing";
+      detail =
+        "Sys.time measures process CPU time, which diverges from wall-clock the \
+         moment work runs on several domains.  Use Xia_obs.Obs.now_s, or \
+         suppress for genuinely CPU-bound measurement.";
+    };
+    {
+      id = "D003";
+      title = "catalog/store mutation on a what-if path";
+      detail =
+        "A catalog or document-store mutator (Catalog.create_index, \
+         Doc_store.insert, ...) is transitively reachable — across compilation \
+         units, through the cross-module call graph — from a binding of a \
+         what-if evaluation module (benefit, optimizer).  What-if evaluation \
+         must never mutate shared state: pass ?virtual_config instead.  \
+         Catalog.warm_stats is the sanctioned pre-fan-out synchronization \
+         point and deliberately exempt.";
+    };
+    {
+      id = "D004";
+      title = "wall-clock read outside lib/obs";
+      detail =
+        "Unix.gettimeofday in lib/ code outside lib/obs/: library timing must \
+         go through Xia_obs.Obs.now_s so all instrumentation shares one \
+         sanctioned clock.  bin/, bench/ and test/ may read the clock \
+         directly.";
+    };
+    {
+      id = "H001";
+      title = "module without an .mli interface";
+      detail =
+        "Every library module states its public surface in an .mli.  bin/ and \
+         bench/ executable directories are exempt: entry points have no \
+         importable surface.";
+    };
+    {
+      id = "H002";
+      title = "failwith/assert false without a lint note";
+      detail =
+        "A failwith or assert false without a (* lint: reason *) note on the \
+         same or previous line.  The note documents why the case cannot \
+         happen; without it the dead branch is indistinguishable from an \
+         unhandled one.";
+    };
+    {
+      id = "R001";
+      title = "mutable state reachable from a parallel task";
+      detail =
+        "A closure or named function passed to Par.map/Par.map_list/Par.iter/\
+         Domain.spawn captures a raw mutable local, writes a mutable record \
+         field of a captured value, or — transitively, through helpers in any \
+         unit — references raw module-toplevel mutable state.  Multiple \
+         domains then race on the same memory.  Wrap the state in \
+         Atomic/Mutex/Domain.DLS (or Interner.Cache for memo tables), or \
+         return per-item results and combine after the join.  A function \
+         whose body takes a Mutex.lock is assumed lock-disciplined and \
+         skipped.";
+    };
+    {
+      id = "R002";
+      title = "inconsistent mutex acquisition order";
+      detail =
+        "Mutex.lock while another mutex is statically held, when the opposite \
+         nesting order occurs elsewhere (directly or through callees resolved \
+         via the call graph): two domains taking the locks in opposite orders \
+         can deadlock.  Mutexes are identified by the symbolic path of the \
+         lock expression (pool.lock, shard.lock); re-locking the same symbol \
+         is reported as a self-deadlock because stdlib mutexes are not \
+         reentrant.";
+    };
+    {
+      id = "R003";
+      title = "non-atomic read-modify-write on an Atomic.t";
+      detail =
+        "Atomic.set x (... Atomic.get x ...): the window between the get and \
+         the set loses concurrent updates.  Use Atomic.fetch_and_add, \
+         Atomic.incr, or a compare_and_set retry loop.";
+    };
+  ]
+
+let find_check id = List.find_opt (fun c -> String.equal c.id id) catalog

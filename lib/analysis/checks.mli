@@ -1,40 +1,85 @@
 (** The check catalog.
 
+    Unit-local checks (one compilation unit's parsetree):
+
     - [D001] module-toplevel mutable state not wrapped in
       Atomic/Domain.DLS/Mutex/Lazy (domain-safety).
     - [D002] [Sys.time] used for timing (CPU time, not wall-clock).
-    - [D003] catalog/store mutation reachable from the what-if evaluation
-      modules (call-graph approximation of PR 1's reentrancy contract).
     - [D004] [Unix.gettimeofday] in [lib/] code outside [lib/obs/]: library
       wall-clock reads must go through [Xia_obs.Obs.now_s].
-    - [H001] module without an [.mli] interface.
+    - [H001] module without an [.mli] interface (filesystem-level).
     - [H002] [failwith]/[assert false] without a [(* lint: reason *)] note.
 
-    The analysis is syntactic: it matches [Longident] paths without name
-    resolution.  Suppress intentional sites with [\[@lint.allow "ID"\]] or an
-    allow-file entry. *)
+    Whole-program checks (interprocedural, over the cross-unit call graph
+    built by {!Callgraph}):
+
+    - [D003] catalog/store mutation transitively reachable — across
+      compilation units — from a binding of a what-if evaluation module,
+      enforcing PR 1's reentrancy contract.
+    - [R001]/[R002]/[R003] the domain-race series; implemented in {!Races}.
+
+    Identifier references are matched on [Longident] paths after
+    module-alias expansion through the graph; full name resolution
+    (shadowing, functors, first-class modules) is out of scope.  Suppress
+    intentional sites with [\[@lint.allow "ID"\]] or an allow-file entry. *)
 
 type config = {
   whatif_modules : string list;
-      (** lowercase module basenames subject to D003,
+      (** lowercase module basenames whose bindings are D003 entry points,
           e.g. [\["benefit"; "optimizer"\]] *)
 }
 
 val default_config : config
 
-(** Run every parsetree-level check (D001, D002, D003, D004, H002) on one
+(** Run every unit-local parsetree check (D001, D002, D004, H002) on one
     compilation unit.  [source] is the raw file text, used to honor
-    [(* lint: reason *)] notes; [filename] selects D003 and D004
-    applicability.
+    [(* lint: reason *)] notes; [filename] selects D004 applicability.
     Attribute suppressions are already applied; allow-file suppression is the
     caller's job. *)
 val check_structure :
-  config:config ->
   filename:string ->
   source:string ->
   Parsetree.structure ->
   Finding.t list
 
+(** Whole-program D003 over the shared call graph: flags every
+    alias-expanded [Catalog.*]/[Doc_store.*] mutator call site reachable
+    from a binding of a what-if module. *)
+val check_d003_program : config:config -> Callgraph.t -> Finding.t list
+
 (** [missing_mli ~mls ~mlis] — H001: every [.ml] path with no matching
     [.mli] path (compared by extension-stripped name). *)
 val missing_mli : mls:string list -> mlis:string list -> Finding.t list
+
+(** {1 Check metadata} *)
+
+type check_info = {
+  id : string;
+  title : string;   (** one line; emitted in the [--json] ["checks"] array *)
+  detail : string;  (** the [--explain ID] text *)
+}
+
+(** Every check, in catalog (ID) order. *)
+val catalog : check_info list
+
+val find_check : string -> check_info option
+
+(** {1 Shared classification helpers} (used by {!Races}) *)
+
+(** Is [suffix] a component suffix of [path]?
+    [has_suffix ~suffix:\["Par"; "map"\] \["Xia_core"; "Par"; "map"\]] is
+    [true]. *)
+val has_suffix : suffix:string list -> string list -> bool
+
+(** Field names declared [mutable] anywhere in this compilation unit. *)
+val mutable_field_names : Parsetree.structure -> (string, unit) Hashtbl.t
+
+(** Classify an expression as raw shared mutable state: every
+    [(location, allocator)] pair found descending through wrappers and data
+    constructors.  Empty for deferred allocations (functions, [lazy]) and
+    Atomic/Mutex/DLS-wrapped initializers. *)
+val d001_hits :
+  (string, unit) Hashtbl.t ->
+  (Location.t * string) list ->
+  Parsetree.expression ->
+  (Location.t * string) list

@@ -19,6 +19,9 @@ val compare : t -> t -> int
 (** Render as [file:line [ID] message] — the tool's text output format. *)
 val to_string : t -> string
 
+(** Escape a string for embedding in a JSON string literal. *)
+val json_escape : string -> string
+
 (** One finding as a JSON object. *)
 val to_json : t -> string
 

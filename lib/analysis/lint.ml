@@ -1,9 +1,12 @@
-(* Analyzer driver: parse OCaml sources with compiler-libs, run the check
-   catalog, apply allow-file suppressions, report.
+(* Analyzer driver: parse OCaml sources with compiler-libs once, build the
+   cross-unit call graph once, run the unit-local and whole-program check
+   catalog over it, apply allow-file suppressions, report.
 
    The unit of work is a source *string* ([lint_source]) so the test suite
-   can exercise every check on inline fixtures; [lint_paths] layers the
-   filesystem walk (and the filesystem-level H001 check) on top. *)
+   can exercise every check on inline fixtures — a one-unit program runs the
+   identical whole-program pipeline over a one-unit graph; [lint_paths]
+   layers the filesystem walk (and the filesystem-level H001 check) on
+   top. *)
 
 type error = { path : string; message : string }
 
@@ -28,10 +31,24 @@ let parse_structure ~filename source =
       Error { path = filename; message = String.trim msg }
   | e -> Error { path = filename; message = Printexc.to_string e }
 
+(* Every parsetree-level finding of a program: the unit-local checks per
+   unit, then D003 and the R-series over the shared graph. *)
+let program_findings ~config units =
+  let graph = Callgraph.build units in
+  let per_unit =
+    List.concat_map
+      (fun (u : Callgraph.unit_info) ->
+        Checks.check_structure ~filename:u.path ~source:u.source u.structure)
+      units
+  in
+  per_unit @ Checks.check_d003_program ~config graph @ Races.check graph
+
 let lint_source ?(config = Checks.default_config) ~filename source =
   match parse_structure ~filename source with
   | Error e -> Error e
-  | Ok structure -> Ok (Checks.check_structure ~config ~filename ~source structure)
+  | Ok structure ->
+      let u = Callgraph.make_unit ~path:filename ~source structure in
+      Ok (List.sort Finding.compare (program_findings ~config [ u ]))
 
 let read_file path =
   let ic = open_in_bin path in
@@ -66,20 +83,89 @@ let collect_sources paths =
   List.iter visit paths;
   (List.rev !mls, List.rev !mlis, List.rev !errors)
 
+(* Parse every .ml into a unit; unreadable/unparsable files become errors
+   and drop out of the graph (their findings are unknowable anyway). *)
+let load_units mls =
+  List.fold_left
+    (fun (units, errors) ml ->
+      match read_file ml with
+      | exception Sys_error m -> (units, { path = ml; message = m } :: errors)
+      | source -> (
+          match parse_structure ~filename:ml source with
+          | Ok structure ->
+              (Callgraph.make_unit ~path:ml ~source structure :: units, errors)
+          | Error e -> (units, e :: errors)))
+    ([], []) mls
+  |> fun (units, errors) -> (List.rev units, List.rev errors)
+
 let lint_paths ?(config = Checks.default_config) ?(allow = []) paths =
   let mls, mlis, walk_errors = collect_sources paths in
-  let findings, errors =
-    List.fold_left
-      (fun (findings, errors) ml ->
-        match lint_file ~config ml with
-        | Ok fs -> (fs :: findings, errors)
-        | Error e -> (findings, e :: errors))
-      ([], List.rev walk_errors) mls
-  in
-  let all = Checks.missing_mli ~mls ~mlis @ List.concat (List.rev findings) in
+  let units, parse_errors = load_units mls in
+  let all = Checks.missing_mli ~mls ~mlis @ program_findings ~config units in
   let kept, suppressed = Suppress.apply allow all in
   {
     findings = List.sort Finding.compare kept;
     suppressed = List.sort Finding.compare suppressed;
-    errors = List.rev errors;
+    errors = walk_errors @ parse_errors;
   }
+
+(* DOT rendering of the cross-unit call graph for the given paths.  Parse
+   errors do not abort: the graph over the parsable subset is still useful,
+   and the errors ride along for the caller to report. *)
+let callgraph_dot paths =
+  let mls, _, walk_errors = collect_sources paths in
+  let units, parse_errors = load_units mls in
+  (Callgraph.to_dot (Callgraph.build units), walk_errors @ parse_errors)
+
+(* ------------------------------------------------------ JSON rendering -- *)
+
+(* Schema version of the machine-readable report.  Bump when the envelope
+   shape changes; the fixtures in test/ lock the bytes. *)
+let json_schema_version = 2
+
+let report_to_json (r : report) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
+  Buffer.add_string buf "  \"checks\": [\n";
+  let n_checks = List.length Checks.catalog in
+  List.iteri
+    (fun i (c : Checks.check_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"id\": \"%s\", \"title\": \"%s\"}%s\n"
+           (Finding.json_escape c.id)
+           (Finding.json_escape c.title)
+           (if i = n_checks - 1 then "" else ",")))
+    Checks.catalog;
+  Buffer.add_string buf "  ],\n";
+  (match List.sort Finding.compare r.findings with
+  | [] -> Buffer.add_string buf "  \"findings\": [],\n"
+  | fs ->
+      Buffer.add_string buf "  \"findings\": [\n";
+      let n = List.length fs in
+      List.iteri
+        (fun i f ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %s%s\n" (Finding.to_json f)
+               (if i = n - 1 then "" else ",")))
+        fs;
+      Buffer.add_string buf "  ],\n");
+  let by_id =
+    List.sort_uniq String.compare
+      (List.map (fun (f : Finding.t) -> f.Finding.id) r.suppressed)
+    |> List.map (fun id ->
+           ( id,
+             List.length
+               (List.filter (fun (f : Finding.t) -> String.equal f.Finding.id id)
+                  r.suppressed) ))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"suppressed\": {\"total\": %d, \"by_id\": {%s}}\n"
+       (List.length r.suppressed)
+       (String.concat ", "
+          (List.map
+             (fun (id, n) -> Printf.sprintf "\"%s\": %d" (Finding.json_escape id) n)
+             by_id)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

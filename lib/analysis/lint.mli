@@ -1,5 +1,6 @@
-(** Analyzer driver: parse with compiler-libs, run checks, apply the allow
-    file. *)
+(** Analyzer driver: parse with compiler-libs once, build the cross-unit
+    call graph once, run the unit-local and whole-program checks, apply the
+    allow file. *)
 
 type error = { path : string; message : string }
 
@@ -11,7 +12,8 @@ type report = {
 
 val empty_report : report
 
-(** Lint one source string (parsetree-level checks only; no H001). *)
+(** Lint one source string as a one-unit program (every parsetree-level
+    check including D003 and the R-series; no H001). *)
 val lint_source :
   ?config:Checks.config ->
   filename:string ->
@@ -22,7 +24,20 @@ val lint_source :
 val lint_file : ?config:Checks.config -> string -> (Finding.t list, error) result
 
 (** Lint every [.ml] under [paths] (recursively; skips [_build] and dot
-    directories), including the H001 interface check, then apply the
-    allow-file [entries]. *)
+    directories) as one program sharing one call graph, including the H001
+    interface check, then apply the allow-file [entries]. *)
 val lint_paths :
   ?config:Checks.config -> ?allow:Suppress.entry list -> string list -> report
+
+(** Deterministic Graphviz rendering of the call graph over every [.ml]
+    under [paths], plus any walk/parse errors (the graph covers the parsable
+    subset). *)
+val callgraph_dot : string list -> string * error list
+
+(** Schema version of {!report_to_json}'s envelope. *)
+val json_schema_version : int
+
+(** The versioned machine-readable report: schema version, check catalog,
+    findings sorted by (file, line, col, id), suppressed totals per check
+    ID.  Byte-stable for identical inputs (fixture-locked in test/). *)
+val report_to_json : report -> string

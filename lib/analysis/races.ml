@@ -1,0 +1,595 @@
+(* The R-series: domain-race checks over the cross-unit call graph.
+
+   R001  module-level or escaping mutable state reached from a parallel
+         task: a closure (or named function) passed to [Par.map] /
+         [Par.map_list] / [Par.iter] / [Domain.spawn] that captures a raw
+         mutable local ([ref], [Hashtbl.create], ...), mutates a field of a
+         captured value, or — transitively, through helpers in any unit —
+         references raw module-toplevel mutable state.  Wrapped state
+         (Atomic, Mutex, Domain.DLS, Lazy, Interner.Cache) never classifies
+         as raw, and a function whose body takes a [Mutex.lock] is assumed
+         lock-disciplined and skipped (its callees included): a linear
+         analysis cannot pair each access with its critical section, so it
+         defers to the human there rather than spray false positives.
+   R002  inconsistent mutex acquisition order: [Mutex.lock b] while [a] is
+         statically held, when somewhere else [a] is locked while [b] is
+         held (deadlock by lock-order inversion), including locks taken by
+         callees resolved through the graph.  Mutexes are identified
+         nominally by the symbolic path of the lock expression ([pool.lock],
+         [shard.lock], ...); re-locking the same symbol is reported as a
+         self-deadlock (stdlib mutexes are not reentrant).
+   R003  non-atomic read-modify-write: [Atomic.set x (... Atomic.get x ...)]
+         — the window between get and set loses concurrent updates; use
+         [Atomic.fetch_and_add]/[Atomic.incr] or a [compare_and_set] retry
+         loop.  Only the syntactically nested shape is matched: a get
+         let-bound earlier (the save/restore idiom) is not a hit.
+
+   All three honor [@lint.allow "R00x"] attribute suppression at the site
+   the finding anchors to, plus allow-file entries downstream. *)
+
+open Parsetree
+
+let allow id attrs = List.mem id (Suppress.allow_ids attrs)
+
+(* The parallel fan-out entry points.  An argument in function position of
+   one of these escapes to another domain. *)
+let par_entries =
+  [
+    ([ "Par"; "map" ], "Par.map");
+    ([ "Par"; "map_list" ], "Par.map_list");
+    ([ "Par"; "iter" ], "Par.iter");
+    ([ "Domain"; "spawn" ], "Domain.spawn");
+  ]
+
+let par_entry_of_path path =
+  List.find_map
+    (fun (suffix, name) -> if Checks.has_suffix ~suffix path then Some name else None)
+    par_entries
+
+(* Symbolic identity of a lock/atomic expression: dotted ident or field
+   path ("pool.lock", "t.shards.lock"); [None] when the expression has no
+   stable name (array cells, call results). *)
+let rec sym (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident lid -> Some (String.concat "." (Longident.flatten lid.txt))
+  | Pexp_field (b, lid) -> (
+      match sym b with
+      | Some s -> (
+          match List.rev (Longident.flatten lid.txt) with
+          | f :: _ -> Some (s ^ "." ^ f)
+          | [] -> None)
+      | None -> None)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> sym e
+  | _ -> None
+
+(* All variable names bound by patterns anywhere inside [e] (params, lets,
+   match arms).  Over-approximate on purpose: treating a sibling-branch
+   binder as bound only ever silences a finding, never invents one. *)
+let bound_vars (e : expression) =
+  let bound = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var v -> Hashtbl.replace bound v.txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.expr it e;
+  bound
+
+let contains_mutex_lock (e : expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid
+            when Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] (Longident.flatten lid.txt)
+            ->
+              found := true
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ---------------------------------------------------------------- R001 -- *)
+
+type r001_ctx = {
+  graph : Callgraph.t;
+  fields : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* unit path -> mutable field names declared in that unit.  Kept
+         per-unit on purpose: classifying a record literal by a field name
+         that is only [mutable] in some *other* unit's unrelated type would
+         invent findings (observed with an immutable stats record sharing
+         field names with a mutable one elsewhere). *)
+  raw_memo : (string * string, string option) Hashtbl.t;
+  findings : Finding.t list ref;
+}
+
+let fields_of ctx (u : Callgraph.unit_info) =
+  match Hashtbl.find_opt ctx.fields u.path with
+  | Some t -> t
+  | None ->
+      let t = Checks.mutable_field_names u.structure in
+      Hashtbl.replace ctx.fields u.path t;
+      t
+
+(* Is this graph node raw module-toplevel mutable state?  Returns the
+   allocator kind ("ref", "Hashtbl.create", ...).  Deferred allocations
+   (functions) and safe wrappers classify as [None] inside [d001_hits]. *)
+let raw_global ctx (n : Callgraph.node) =
+  let k = Callgraph.key n in
+  match Hashtbl.find_opt ctx.raw_memo k with
+  | Some r -> r
+  | None ->
+      let r =
+        if allow "R001" n.attrs then None
+        else
+          match Checks.d001_hits (fields_of ctx n.u) [] n.expr with
+          | [] -> None
+          | (_, what) :: _ -> Some what
+      in
+      Hashtbl.replace ctx.raw_memo k r;
+      r
+
+let r001_capture_message entry name kind =
+  Printf.sprintf
+    "closure passed to %s captures mutable local %s (%s): shared across domains \
+     without synchronization; use Atomic/Mutex or return per-item results"
+    entry name kind
+
+let r001_global_message entry name kind path trail =
+  let via =
+    match trail with [] -> "" | t -> Printf.sprintf " via %s" (String.concat " -> " t)
+  in
+  Printf.sprintf
+    "parallel task passed to %s reaches module-toplevel mutable state %s (%s, %s)%s: \
+     unsynchronized cross-domain access; wrap in Atomic/Mutex/Domain.DLS"
+    entry name kind path via
+
+let r001_setfield_message entry field =
+  Printf.sprintf
+    "closure passed to %s writes mutable field %s of a captured value: \
+     unsynchronized cross-domain write; guard with a Mutex or make it Atomic"
+    entry field
+
+let emit ctx ~id ~message loc =
+  ctx.findings := Finding.of_location ~id ~message loc :: !(ctx.findings)
+
+(* Transitive scan of a named function that escapes to another domain: flag
+   references to raw toplevel state in any unit, follow calls.  [visited] is
+   global — one finding per racy global reference site is enough no matter
+   how many fan-out sites reach it. *)
+let rec scan_escaping_node ctx ~visited ~entry ~trail (n : Callgraph.node) =
+  let k = Callgraph.key n in
+  if not (Hashtbl.mem visited k) then begin
+    Hashtbl.replace visited k ();
+    if (not (allow "R001" n.attrs)) && not (contains_mutex_lock n.expr) then begin
+      let bound = bound_vars n.expr in
+      let stack = ref [ Suppress.allow_ids n.attrs ] in
+      let active id = List.exists (List.mem id) !stack in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+              (match e.pexp_desc with
+              | Pexp_ident lid ->
+                  let path = Longident.flatten lid.txt in
+                  let shadowed =
+                    match path with [ x ] -> Hashtbl.mem bound x | _ -> false
+                  in
+                  if not shadowed then
+                    List.iter
+                      (fun (tgt : Callgraph.node) ->
+                        match raw_global ctx tgt with
+                        | Some kind ->
+                            if not (active "R001") then
+                              emit ctx ~id:"R001"
+                                ~message:
+                                  (r001_global_message entry tgt.name kind tgt.u.path
+                                     (trail @ [ n.name ]))
+                                e.pexp_loc
+                        | None ->
+                            scan_escaping_node ctx ~visited ~entry
+                              ~trail:(trail @ [ n.name ]) tgt)
+                      (Callgraph.resolve ctx.graph n.u path)
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e;
+              stack := List.tl !stack)
+        }
+      in
+      it.expr it n.expr
+    end
+  end
+
+(* Raw mutable locals let-bound anywhere inside a node body, name -> kind.
+   Scope is deliberately ignored: a name in this table that a closure uses
+   without binding it itself must come from an enclosing scope, and the only
+   enclosing definition the analysis knows of is the raw one.  (A closure
+   shadowed by an enclosing *parameter* of the same name can false-positive;
+   none occur here, and the attribute suppression is the escape hatch.) *)
+let raw_locals_of mutable_fields (e : expression) =
+  let locals = Hashtbl.create 8 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it (vb : value_binding) ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var v -> (
+              match Checks.d001_hits mutable_fields [] vb.pvb_expr with
+              | [] -> ()
+              | (_, what) :: _ -> Hashtbl.replace locals v.txt what)
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.expr it e;
+  locals
+
+(* Scan a literal closure passed to a fan-out point: the capture checks plus
+   the transitive follow-up for every helper the closure calls. *)
+let scan_closure ctx ~visited ~entry ~locals ~host (c : expression) =
+  let bound = bound_vars c in
+  let stack = ref [] in
+  let active id = List.exists (List.mem id) !stack in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+          (match e.pexp_desc with
+          | Pexp_ident lid -> (
+              let path = Longident.flatten lid.txt in
+              match path with
+              | [ x ] when Hashtbl.mem bound x -> ()
+              | [ x ] when Hashtbl.mem locals x ->
+                  if not (active "R001") then
+                    emit ctx ~id:"R001"
+                      ~message:(r001_capture_message entry x (Hashtbl.find locals x))
+                      e.pexp_loc
+              | _ ->
+                  List.iter
+                    (fun (tgt : Callgraph.node) ->
+                      match raw_global ctx tgt with
+                      | Some kind ->
+                          if not (active "R001") then
+                            emit ctx ~id:"R001"
+                              ~message:(r001_global_message entry tgt.name kind tgt.u.path [])
+                              e.pexp_loc
+                      | None -> scan_escaping_node ctx ~visited ~entry ~trail:[] tgt)
+                    (Callgraph.resolve ctx.graph host path))
+          | Pexp_setfield (base, flid, _) -> (
+              (* Any [x.f <- e] is a mutable-field write by construction; the
+                 only question is whether [x] is the closure's own. *)
+              match List.rev (Longident.flatten flid.txt) with
+              | f :: _ ->
+                  let base_bound =
+                    match base.pexp_desc with
+                    | Pexp_ident { txt = Longident.Lident x; _ } -> Hashtbl.mem bound x
+                    | _ -> false
+                  in
+                  if (not base_bound) && not (active "R001") then
+                    emit ctx ~id:"R001" ~message:(r001_setfield_message entry f)
+                      e.pexp_loc
+              | [] -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e;
+          stack := List.tl !stack)
+    }
+  in
+  it.expr it c
+
+(* The function argument of a fan-out call: the first unlabeled argument
+   ([Par.map ~domains f arr] and [Domain.spawn f] both fit). *)
+let task_argument args =
+  List.find_map
+    (fun (label, (a : expression)) ->
+      match label with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let rec is_closure (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> is_closure e
+  | _ -> false
+
+let rec head_ident (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident lid -> Some (Longident.flatten lid.txt)
+  | Pexp_apply (f, _) -> head_ident f
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> head_ident e
+  | _ -> None
+
+(* Walk one node's body looking for fan-out calls. *)
+let check_r001_node ctx ~visited (n : Callgraph.node) =
+  let locals = raw_locals_of (fields_of ctx n.u) n.expr in
+  let stack = ref [ Suppress.allow_ids n.attrs ] in
+  let active id = List.exists (List.mem id) !stack in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) -> (
+              match
+                par_entry_of_path
+                  (Callgraph.expand ctx.graph n.u (Longident.flatten lid.txt))
+              with
+              | Some entry when not (active "R001") -> (
+                  match task_argument args with
+                  | Some task when is_closure task ->
+                      scan_closure ctx ~visited ~entry ~locals ~host:n.u task
+                  | Some task -> (
+                      match head_ident task with
+                      | Some path ->
+                          List.iter
+                            (fun (tgt : Callgraph.node) ->
+                              scan_escaping_node ctx ~visited ~entry ~trail:[] tgt)
+                            (Callgraph.resolve ctx.graph n.u path)
+                      | None -> ())
+                  | None -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e;
+          stack := List.tl !stack);
+    }
+  in
+  it.expr it n.expr
+
+(* ---------------------------------------------------------------- R002 -- *)
+
+type lock_site = { loc : Location.t; suppressed : bool; via : string option }
+
+(* Direct lock symbols of a node body (for the interprocedural step). *)
+let direct_locks (n : Callgraph.node) =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
+            when Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] (Longident.flatten lid.txt)
+            -> (
+              match task_argument args with
+              | Some m -> ( match sym m with Some s -> acc := s :: !acc | None -> ())
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it n.expr;
+  List.sort_uniq String.compare !acc
+
+let transitive_locks graph memo (n : Callgraph.node) =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec visit (n : Callgraph.node) =
+    let k = Callgraph.key n in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      let direct =
+        match Hashtbl.find_opt memo k with
+        | Some d -> d
+        | None ->
+            let d = direct_locks n in
+            Hashtbl.replace memo k d;
+            d
+      in
+      acc := direct @ !acc;
+      List.iter visit (Callgraph.succs graph n)
+    end
+  in
+  visit n;
+  List.sort_uniq String.compare !acc
+
+let r002_inversion_message b a (rev : lock_site) =
+  let p = rev.loc.Location.loc_start in
+  Printf.sprintf
+    "Mutex.lock on %s while %s is held, but the opposite order occurs at %s:%d: \
+     inconsistent acquisition order can deadlock; pick one global order"
+    b a p.Lexing.pos_fname p.Lexing.pos_lnum
+
+let r002_self_message a =
+  Printf.sprintf
+    "Mutex.lock on %s while %s is already held: stdlib mutexes are not reentrant — \
+     this self-deadlocks"
+    a a
+
+let check_r002 graph =
+  let pairs : (string * string, lock_site list) Hashtbl.t = Hashtbl.create 32 in
+  let add_pair a b site =
+    Hashtbl.replace pairs (a, b)
+      (Option.value ~default:[] (Hashtbl.find_opt pairs (a, b)) @ [ site ])
+  in
+  let lock_memo = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      let held = ref [] in
+      let stack = ref [ Suppress.allow_ids n.attrs ] in
+      let active id = List.exists (List.mem id) !stack in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+              (match e.pexp_desc with
+              | Pexp_fun _ | Pexp_function _ ->
+                  (* A closure body runs later, under whatever locks its
+                     caller then holds — not the ones held where it is
+                     defined. *)
+                  let saved = !held in
+                  held := [];
+                  Ast_iterator.default_iterator.expr it e;
+                  held := saved
+              | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) -> (
+                  let path = Longident.flatten lid.txt in
+                  (if Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] path then
+                     match Option.bind (task_argument args) sym with
+                     | Some s ->
+                         List.iter
+                           (fun h ->
+                             add_pair h s
+                               { loc = e.pexp_loc; suppressed = active "R002"; via = None })
+                           !held;
+                         held := !held @ [ s ]
+                     | None -> ()
+                   else if Checks.has_suffix ~suffix:[ "Mutex"; "unlock" ] path then
+                     match Option.bind (task_argument args) sym with
+                     | Some s -> held := List.filter (fun h -> h <> s) !held
+                     | None -> ()
+                   else if !held <> [] then
+                     List.iter
+                       (fun (tgt : Callgraph.node) ->
+                         List.iter
+                           (fun l ->
+                             List.iter
+                               (fun h ->
+                                 add_pair h l
+                                   {
+                                     loc = e.pexp_loc;
+                                     suppressed = active "R002";
+                                     via = Some tgt.name;
+                                   })
+                               !held)
+                           (transitive_locks graph lock_memo tgt))
+                       (Callgraph.resolve graph n.u path));
+                  Ast_iterator.default_iterator.expr it e)
+              | _ -> Ast_iterator.default_iterator.expr it e);
+              stack := List.tl !stack)
+        }
+      in
+      it.expr it n.expr)
+    (Callgraph.nodes graph);
+  let first_site sites =
+    List.sort
+      (fun (a : lock_site) b ->
+        let pa = a.loc.Location.loc_start and pb = b.loc.Location.loc_start in
+        compare
+          (pa.Lexing.pos_fname, pa.Lexing.pos_lnum, pa.Lexing.pos_cnum)
+          (pb.Lexing.pos_fname, pb.Lexing.pos_lnum, pb.Lexing.pos_cnum))
+      sites
+    |> List.hd
+  in
+  Hashtbl.fold
+    (fun (a, b) sites acc ->
+      if a = b then
+        List.fold_left
+          (fun acc (s : lock_site) ->
+            if s.suppressed then acc
+            else Finding.of_location ~id:"R002" ~message:(r002_self_message a) s.loc :: acc)
+          acc sites
+      else
+        match Hashtbl.find_opt pairs (b, a) with
+        | Some rev_sites ->
+            let rev = first_site rev_sites in
+            List.fold_left
+              (fun acc (s : lock_site) ->
+                if s.suppressed then acc
+                else
+                  Finding.of_location ~id:"R002" ~message:(r002_inversion_message b a rev)
+                    s.loc
+                  :: acc)
+              acc sites
+        | None -> acc)
+    pairs []
+
+(* ---------------------------------------------------------------- R003 -- *)
+
+let r003_message target =
+  Printf.sprintf
+    "non-atomic read-modify-write: Atomic.set of %s computed from Atomic.get of \
+     the same atomic loses concurrent updates; use Atomic.fetch_and_add/incr or \
+     a compare_and_set retry loop"
+    target
+
+let contains_get_of (target : string) (e : expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
+            when Checks.has_suffix ~suffix:[ "Atomic"; "get" ] (Longident.flatten lid.txt)
+            -> (
+              match Option.bind (task_argument args) sym with
+              | Some s when s = target -> found := true
+              | _ -> ())
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let check_r003 structure =
+  let findings = ref [] in
+  let stack = ref [] in
+  let active id = List.exists (List.mem id) !stack in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          stack := Suppress.allow_ids e.pexp_attributes :: !stack;
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
+            when Checks.has_suffix ~suffix:[ "Atomic"; "set" ] (Longident.flatten lid.txt)
+            -> (
+              match args with
+              | (Asttypes.Nolabel, target) :: (Asttypes.Nolabel, value) :: _ -> (
+                  match sym target with
+                  | Some s when contains_get_of s value ->
+                      if not (active "R003") then
+                        findings :=
+                          Finding.of_location ~id:"R003" ~message:(r003_message s)
+                            e.pexp_loc
+                          :: !findings
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e;
+          stack := List.tl !stack);
+      value_binding =
+        (fun it vb ->
+          stack := Suppress.allow_ids vb.pvb_attributes :: !stack;
+          Ast_iterator.default_iterator.value_binding it vb;
+          stack := List.tl !stack);
+    }
+  in
+  it.structure it structure;
+  !findings
+
+(* ------------------------------------------------------------- driver -- *)
+
+let check graph =
+  let ctx =
+    { graph; fields = Hashtbl.create 16; raw_memo = Hashtbl.create 64; findings = ref [] }
+  in
+  let visited = Hashtbl.create 64 in
+  List.iter (check_r001_node ctx ~visited) (Callgraph.nodes graph);
+  let r002 = check_r002 graph in
+  let r003 =
+    List.concat_map
+      (fun (u : Callgraph.unit_info) -> check_r003 u.structure)
+      (Callgraph.units graph)
+  in
+  !(ctx.findings) @ r002 @ r003

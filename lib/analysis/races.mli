@@ -1,0 +1,23 @@
+(** The R-series domain-race checks, run over the whole-program call graph:
+
+    - [R001] mutable state reachable from a parallel task: a closure or
+      named function passed to [Par.map]/[Par.map_list]/[Par.iter]/
+      [Domain.spawn] that captures a raw mutable local, writes a mutable
+      record field of a captured value, or (transitively, across units)
+      references raw module-toplevel mutable state.  Atomic/Mutex/
+      Domain.DLS/Lazy-wrapped state never classifies as raw; a function
+      whose body takes a [Mutex.lock] is assumed lock-disciplined and
+      skipped.
+    - [R002] inconsistent mutex acquisition order, including locks taken by
+      callees resolved through the graph; re-locking the same mutex symbol
+      is a self-deadlock.
+    - [R003] non-atomic read-modify-write:
+      [Atomic.set x (... Atomic.get x ...)].
+
+    Semantics, worked examples and the soundness/incompleteness trade-offs
+    are documented in DESIGN.md §5f. *)
+
+(** Run R001, R002 and R003 over every unit of the graph.  Attribute
+    suppressions ([\[@lint.allow "R001"\]] etc.) are applied; allow-file
+    suppression is the caller's job. *)
+val check : Callgraph.t -> Finding.t list

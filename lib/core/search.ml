@@ -270,8 +270,11 @@ let top_down ?(variant = Full) ev set ~budget =
   let continue_ = ref true in
   while !continue_ && config_size ev !config > budget && !guard > 0 do
     decr guard;
+    (* Snapshot the configuration for the round: the workers below run on
+       other domains and must not read the ref cell directly. *)
+    let current = !config in
     let replaceable =
-      List.filter (fun c -> children_in_space c <> []) !config
+      List.filter (fun c -> children_in_space c <> []) current
     in
     (* Score each replaceable general index by ΔB/ΔC.  The scores are
        independent (the configuration is fixed for the round), so they are
@@ -282,7 +285,7 @@ let top_down ?(variant = Full) ev set ~budget =
           let children =
             List.filter
               (fun (ch : Candidate.t) ->
-                not (List.exists (fun (x : Candidate.t) -> x.id = ch.id) !config))
+                not (List.exists (fun (x : Candidate.t) -> x.id = ch.id) current))
               (children_in_space g)
           in
           let delta_c =
@@ -300,7 +303,7 @@ let top_down ?(variant = Full) ev set ~budget =
                        0.0 children
               | Full ->
                   let rest =
-                    List.filter (fun (x : Candidate.t) -> x.id <> g.id) !config
+                    List.filter (fun (x : Candidate.t) -> x.id <> g.id) current
                   in
                   Benefit.benefit ev (g :: rest) -. Benefit.benefit ev (children @ rest)
             in

@@ -1,7 +1,9 @@
 (* The xia_lint static analyzer (lib/analysis): every check ID gets a
-   positive hit, a negative non-hit and (for D001/D002/D004/H002) a
-   suppression path, plus the self-check that the repository's own lib/ is
-   lint-clean under the checked-in allow file. *)
+   positive hit, a negative non-hit and a suppression path; the
+   whole-program checks (D003, R-series) additionally get two-unit
+   temp-dir projects proving the cross-module cases the old per-file
+   analysis could not see; plus the self-check that the repository's own
+   lib/ is lint-clean under the checked-in allow file. *)
 
 module Lint = Xia_analysis.Lint
 module Checks = Xia_analysis.Checks
@@ -20,6 +22,34 @@ let ids ?filename src =
 
 let check_ids name expected ?filename src =
   Alcotest.(check (list (pair int string))) name expected (ids ?filename src)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i = i + n <= m && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let index_of haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec scan i =
+    if i + n > m then -1 else if String.sub haystack i n = needle then i else scan (i + 1)
+  in
+  scan 0
+
+(* A throwaway directory holding a multi-unit project, for the
+   whole-program checks. *)
+let with_temp_project files f =
+  let dir = Filename.temp_dir "xia_lint_test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      List.iter
+        (fun (name, src) ->
+          Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+              output_string oc src))
+        files;
+      f dir)
 
 (* ---------------------------------------------------------------- D001 -- *)
 
@@ -310,6 +340,18 @@ let self_check_tests =
         Alcotest.(check (list string))
           "no findings" []
           (List.map Finding.to_string report.findings));
+    tc "repo lib/ is R-clean without any suppression" (fun () ->
+        (* The race checks pass on lib/ on their own merits: no allow-file
+           entry and no attribute hides an R-series finding. *)
+        let report = Lint.lint_paths [ "../lib" ] in
+        Alcotest.(check (list string))
+          "no R-series findings" []
+          (List.filter_map
+             (fun (f : Finding.t) ->
+               if String.length f.id > 0 && f.id.[0] = 'R' then
+                 Some (Finding.to_string f)
+               else None)
+             report.findings));
     tc "injected D001 violation fails the full pipeline" (fun () ->
         (* The acceptance-criteria demonstration: the exact bug class PR 1
            shipped (a toplevel ref on a parallel path) yields a non-empty
@@ -332,6 +374,264 @@ let self_check_tests =
                  (List.map (fun (f : Finding.t) -> f.id) report.findings))));
   ]
 
+(* ----------------------------------------- cross-unit call graph cases -- *)
+
+let callgraph_tests =
+  [
+    tc "cross-unit D003 the per-file analysis provably missed" (fun () ->
+        let helpers = "let set c defs = Catalog.set_virtual_indexes c defs\n" in
+        let benefit = "let evaluate c defs = Helpers.set c defs\n" in
+        (* Either unit alone — the old per-file view — is clean: the mutator
+           lives outside the what-if module, and the what-if module only
+           calls an opaque sibling. *)
+        Alcotest.(check (list string))
+          "helpers.ml alone is clean" []
+          (List.map
+             (fun (f : Finding.t) -> f.id)
+             (findings ~filename:"lib/core/helpers.ml" helpers));
+        Alcotest.(check (list string))
+          "benefit.ml alone is clean" []
+          (List.map
+             (fun (f : Finding.t) -> f.id)
+             (findings ~filename:"lib/core/benefit.ml" benefit));
+        with_temp_project
+          [ ("helpers.ml", helpers); ("benefit.ml", benefit) ]
+          (fun dir ->
+            let report = Lint.lint_paths [ dir ] in
+            let d003 =
+              List.filter (fun (f : Finding.t) -> f.id = "D003") report.findings
+            in
+            Alcotest.(check int) "whole-program view finds it" 1 (List.length d003);
+            let f = List.hd d003 in
+            Alcotest.(check string)
+              "anchored at the mutator site" "helpers.ml"
+              (Filename.basename f.Finding.file);
+            Alcotest.(check bool)
+              "names the cross-unit entry point" true
+              (contains f.Finding.message "Benefit.evaluate")));
+    tc "cross-unit R001: Par.map of a function touching another unit's global"
+      (fun () ->
+        with_temp_project
+          [
+            ("state.ml", "let counter = ref 0\n");
+            ( "worker.ml",
+              "let tick _x = State.counter := !State.counter + 1\n\
+               let run items = Par.map tick items\n" );
+          ]
+          (fun dir ->
+            let report = Lint.lint_paths [ dir ] in
+            let r001 =
+              List.filter (fun (f : Finding.t) -> f.id = "R001") report.findings
+            in
+            Alcotest.(check bool) "flagged" true (r001 <> []);
+            let f = List.hd r001 in
+            Alcotest.(check string)
+              "anchored at the racy access" "worker.ml"
+              (Filename.basename f.Finding.file);
+            Alcotest.(check bool)
+              "names the global and the call path" true
+              (contains f.Finding.message "counter"
+              && contains f.Finding.message "via tick")));
+    tc "callgraph DOT is deterministic and shows the cross-unit edge" (fun () ->
+        with_temp_project
+          [
+            ("helpers.ml", "let set c defs = Catalog.set_virtual_indexes c defs\n");
+            ("benefit.ml", "let evaluate c defs = Helpers.set c defs\n");
+          ]
+          (fun dir ->
+            let dot1, errs = Lint.callgraph_dot [ dir ] in
+            let dot2, _ = Lint.callgraph_dot [ dir ] in
+            Alcotest.(check (list string))
+              "no errors" []
+              (List.map (fun (e : Lint.error) -> e.message) errs);
+            Alcotest.(check string) "deterministic" dot1 dot2;
+            Alcotest.(check bool)
+              "digraph with both labelled nodes" true
+              (contains dot1 "digraph"
+              && contains dot1 "benefit.evaluate"
+              && contains dot1 "helpers.set")));
+  ]
+
+(* ---------------------------------------------------------------- R001 -- *)
+
+let r001_tests =
+  [
+    tc "closure capturing a raw local ref" (fun () ->
+        check_ids "flagged at the reference"
+          [ (3, "R001") ]
+          "let f items =\n  let acc = ref 0 in\n  Par.iter (fun x -> acc := x) items\n");
+    tc "Atomic-wrapped local is clean" (fun () ->
+        check_ids "clean" []
+          "let f items =\n\
+          \  let acc = Atomic.make 0 in\n\
+          \  Par.iter (fun _x -> Atomic.incr acc) items\n");
+    tc "per-item results are clean" (fun () ->
+        check_ids "clean" [] "let f items = Par.map (fun x -> x + 1) items\n");
+    tc "named function reaching a toplevel ref, same unit" (fun () ->
+        check_ids "D001 for the global, R001 at the access"
+          [ (1, "D001"); (2, "R001") ]
+          "let table = Hashtbl.create 16\n\
+           let record x = Hashtbl.replace table x ()\n\
+           let run items = Par.iter record items\n");
+    tc "Domain.spawn closure reaching a toplevel Hashtbl" (fun () ->
+        check_ids "D001 for the global, R001 at the access"
+          [ (1, "D001"); (2, "R001") ]
+          "let t = Hashtbl.create 8\n\
+           let spawn () = Domain.spawn (fun () -> Hashtbl.clear t)\n");
+    tc "Mutex.lock discipline defers to the human" (fun () ->
+        check_ids "only the D001 for the raw global"
+          [ (1, "D001") ]
+          "let table = Hashtbl.create 16\n\
+           let m = Mutex.create ()\n\
+           let record x = Mutex.lock m; Hashtbl.replace table x (); Mutex.unlock m\n\
+           let run items = Par.iter record items\n");
+    tc "mutable-field write on a captured record" (fun () ->
+        check_ids "flagged"
+          [ (2, "R001") ]
+          "type t = { mutable count : int }\n\
+           let bump t items = Par.iter (fun _x -> t.count <- t.count + 1) items\n");
+    tc "attribute suppression at the fan-out site" (fun () ->
+        check_ids "suppressed" []
+          "let f items =\n\
+          \  let acc = ref 0 in\n\
+          \  (Par.iter (fun x -> acc := x) items [@lint.allow \"R001\"])\n");
+  ]
+
+(* ---------------------------------------------------------------- R002 -- *)
+
+let r002_tests =
+  [
+    tc "lock-order inversion flagged in both directions" (fun () ->
+        check_ids "both sites"
+          [ (3, "R002"); (4, "R002") ]
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\
+           let f () = Mutex.lock a; Mutex.lock b; Mutex.unlock b; Mutex.unlock a\n\
+           let g () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n");
+    tc "consistent order is clean" (fun () ->
+        check_ids "clean" []
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\
+           let f () = Mutex.lock a; Mutex.lock b; Mutex.unlock b; Mutex.unlock a\n\
+           let g () = Mutex.lock a; Mutex.lock b; Mutex.unlock b; Mutex.unlock a\n");
+    tc "re-lock of the same mutex self-deadlocks" (fun () ->
+        check_ids "flagged"
+          [ (2, "R002") ]
+          "let m = Mutex.create ()\nlet f () = Mutex.lock m; Mutex.lock m\n");
+    tc "inversion through a callee" (fun () ->
+        check_ids "call site and direct site"
+          [ (4, "R002"); (5, "R002") ]
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\
+           let inner () = Mutex.lock b; Mutex.unlock b\n\
+           let outer () = Mutex.lock a; inner (); Mutex.unlock a\n\
+           let other () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n");
+    tc "closure body does not inherit the definition-site lock" (fun () ->
+        check_ids "clean" []
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\
+           let f () =\n\
+          \  Mutex.lock a;\n\
+          \  let g () = Mutex.lock b; Mutex.unlock b in\n\
+          \  Mutex.unlock a;\n\
+          \  g\n\
+           let h () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n");
+    tc "attribute suppression keeps the other direction" (fun () ->
+        check_ids "only the unsuppressed site"
+          [ (6, "R002") ]
+          "let a = Mutex.create ()\n\
+           let b = Mutex.create ()\n\
+           let f () =\n\
+          \  Mutex.lock a; (Mutex.lock b [@lint.allow \"R002\"]);\n\
+          \  Mutex.unlock b; Mutex.unlock a\n\
+           let g () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n");
+  ]
+
+(* ---------------------------------------------------------------- R003 -- *)
+
+let r003_tests =
+  [
+    tc "nested get inside set" (fun () ->
+        check_ids "flagged"
+          [ (2, "R003") ]
+          "let c = Atomic.make 0\nlet bump () = Atomic.set c (Atomic.get c + 1)\n");
+    tc "let-bound save/restore idiom is not matched" (fun () ->
+        check_ids "clean" []
+          "let c = Atomic.make 0\n\
+           let bump () = let v = Atomic.get c in Atomic.set c (v + 1)\n");
+    tc "get of a different atomic is fine" (fun () ->
+        check_ids "clean" []
+          "let a = Atomic.make 0\n\
+           let b = Atomic.make 0\n\
+           let copy () = Atomic.set a (Atomic.get b)\n");
+    tc "field-path targets match symbolically" (fun () ->
+        check_ids "flagged"
+          [ (2, "R003") ]
+          "type t = { counter : int Atomic.t }\n\
+           let bump t = Atomic.set t.counter (Atomic.get t.counter + 1)\n");
+    tc "attribute suppression" (fun () ->
+        check_ids "suppressed" []
+          "let c = Atomic.make 0\n\
+           let bump () = (Atomic.set c (Atomic.get c + 1) [@lint.allow \"R003\"])\n");
+  ]
+
+(* ---------------------------------------------- versioned JSON envelope -- *)
+
+let mk_finding ?(file = "a.ml") ?(line = 1) id =
+  Finding.make ~file ~line ~col:0 ~id ~message:"m"
+
+let json_report_tests =
+  [
+    tc "schema version and check catalog header" (fun () ->
+        let s = Lint.report_to_json Lint.empty_report in
+        Alcotest.(check bool) "version" true (contains s "\"schema_version\": 2");
+        Alcotest.(check bool) "catalog has D001" true (contains s "{\"id\": \"D001\"");
+        Alcotest.(check bool) "catalog has R003" true (contains s "{\"id\": \"R003\"");
+        Alcotest.(check bool) "empty findings" true (contains s "\"findings\": []");
+        Alcotest.(check bool)
+          "empty suppression block" true
+          (contains s "\"suppressed\": {\"total\": 0, \"by_id\": {}}"));
+    tc "findings are emitted sorted regardless of input order" (fun () ->
+        let r =
+          {
+            Lint.findings = [ mk_finding ~file:"b.ml" ~line:9 "R001"; mk_finding "D001" ];
+            suppressed = [];
+            errors = [];
+          }
+        in
+        let s = Lint.report_to_json r in
+        let ia = index_of s "\"a.ml\"" and ib = index_of s "\"b.ml\"" in
+        Alcotest.(check bool) "both present" true (ia >= 0 && ib >= 0);
+        Alcotest.(check bool) "a.ml before b.ml" true (ia < ib));
+    tc "per-ID suppressed counts" (fun () ->
+        let r =
+          {
+            Lint.findings = [];
+            suppressed =
+              [ mk_finding "D001"; mk_finding ~line:2 "D001"; mk_finding ~line:3 "R001" ];
+            errors = [];
+          }
+        in
+        Alcotest.(check bool)
+          "totals and per-ID map" true
+          (contains (Lint.report_to_json r)
+             "\"suppressed\": {\"total\": 3, \"by_id\": {\"D001\": 2, \"R001\": 1}}"));
+    tc "byte-stable across runs" (fun () ->
+        let r =
+          { Lint.findings = [ mk_finding "D002" ]; suppressed = []; errors = [] }
+        in
+        Alcotest.(check string) "identical" (Lint.report_to_json r)
+          (Lint.report_to_json r));
+    tc "every catalog entry has --explain metadata" (fun () ->
+        List.iter
+          (fun (c : Checks.check_info) ->
+            Alcotest.(check bool) c.id true
+              (String.length c.detail > 40 && Checks.find_check c.id = Some c))
+          Checks.catalog);
+    tc "unknown check ID has no metadata" (fun () ->
+        Alcotest.(check bool) "none" true (Checks.find_check "Z999" = None));
+  ]
+
 let suites =
   [
     ("lint.d001", d001_tests);
@@ -340,7 +640,12 @@ let suites =
     ("lint.d004", d004_tests);
     ("lint.h001", h001_tests);
     ("lint.h002", h002_tests);
+    ("lint.callgraph", callgraph_tests);
+    ("lint.r001", r001_tests);
+    ("lint.r002", r002_tests);
+    ("lint.r003", r003_tests);
     ("lint.allow_file", allow_file_tests);
     ("lint.format", format_tests);
+    ("lint.json_report", json_report_tests);
     ("lint.self_check", self_check_tests);
   ]

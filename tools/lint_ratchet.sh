@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Lint ratchet: per-check-ID finding counts must never regress.
+#
+# Runs bin/xia_lint over lib/, bin/ and bench/ WITHOUT the allow file — the
+# ratchet tracks the raw debt the suppressions hide — and compares the
+# per-ID finding counts against the committed lint.baseline (one "ID count"
+# pair per line, '#' comments allowed).  A count above baseline fails; a
+# count below baseline passes but nags until the baseline is tightened.
+#
+#   dune build @lint-ratchet        via the build (sandboxed source copy)
+#   ./tools/lint_ratchet.sh         standalone from a checkout
+#
+# Re-baseline — only after deliberately accepting new debt, or to lock in
+# paid-down debt (run standalone, not through dune, so the file lands in
+# the checkout):
+#   ./tools/lint_ratchet.sh --write-baseline
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=check
+exe=""
+for arg in "$@"; do
+  case "$arg" in
+    --write-baseline) mode=write ;;
+    *) exe="$arg" ;;
+  esac
+done
+
+if [ -z "$exe" ]; then
+  exe=_build/default/bin/xia_lint.exe
+  if [ ! -x "$exe" ]; then
+    dune build bin/xia_lint.exe
+  fi
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+status=0
+"$exe" --json lib bin bench >"$out" || status=$?
+if [ "$status" -gt 1 ]; then
+  echo "lint-ratchet: xia_lint failed (exit $status)" >&2
+  exit "$status"
+fi
+
+# Findings are one compact object per line ('"id":"D001"', no space); the
+# catalog header in the envelope uses '"id": "D001"' with a space, so this
+# pattern only counts findings.
+counts=$(grep -o '"id":"[A-Z0-9]*"' "$out" | sed 's/"id":"\([A-Z0-9]*\)"/\1/' \
+  | sort | uniq -c | awk '{print $2, $1}' || true)
+
+if [ "$mode" = write ]; then
+  {
+    echo "# xia_lint ratchet baseline: raw (unsuppressed) per-check-ID finding"
+    echo "# counts over lib/ bin/ bench/.  Checked by tools/lint_ratchet.sh;"
+    echo "# regenerate with ./tools/lint_ratchet.sh --write-baseline"
+    printf '%s\n' "$counts"
+  } >lint.baseline
+  echo "lint-ratchet: wrote lint.baseline"
+  exit 0
+fi
+
+if [ ! -f lint.baseline ]; then
+  echo "lint-ratchet: lint.baseline missing; create it with ./tools/lint_ratchet.sh --write-baseline" >&2
+  exit 2
+fi
+
+baseline_of() {
+  awk -v id="$1" '$1 == id { print $2 }' lint.baseline
+}
+
+fail=0
+while read -r id n; do
+  [ -z "$id" ] && continue
+  base=$(baseline_of "$id")
+  base=${base:-0}
+  if [ "$n" -gt "$base" ]; then
+    echo "lint-ratchet: $id regressed: $n findings, baseline $base" >&2
+    fail=1
+  elif [ "$n" -lt "$base" ]; then
+    echo "lint-ratchet: $id improved: $n findings, baseline $base — tighten with ./tools/lint_ratchet.sh --write-baseline"
+  fi
+done <<<"$counts"
+
+# IDs still in the baseline but gone from the report: debt fully paid.
+while read -r id base; do
+  case "$id" in '' | '#'*) continue ;; esac
+  if ! printf '%s\n' "$counts" | awk -v id="$id" '$1 == id { found = 1 } END { exit !found }'; then
+    echo "lint-ratchet: $id fully paid down (baseline $base) — tighten with ./tools/lint_ratchet.sh --write-baseline"
+  fi
+done <lint.baseline
+
+if [ "$fail" -ne 0 ]; then
+  {
+    echo "lint-ratchet: new findings above baseline.  Either fix them, or — if"
+    echo "lint-ratchet: the debt is deliberate — re-baseline and commit:"
+    echo "lint-ratchet:   ./tools/lint_ratchet.sh --write-baseline && git add lint.baseline"
+  } >&2
+  exit 1
+fi
+echo "lint-ratchet: OK (counts at or below baseline)"
