@@ -13,25 +13,31 @@
    - evaluated sub-configurations are cached.
 
    What-if calls pass the virtual configuration to the optimizer explicitly
-   ([~virtual_config]), so an evaluation never mutates the catalog.  That
-   makes independent evaluations safe to run concurrently, and this module
-   fans them out over domains ([Par.map], up to [domains t] at a time):
-   statement costs within a sub-configuration delta, sub-configuration deltas
-   within a benefit, and whole statements in [workload_cost] /
-   [used_in_plans].  Results are deterministic — every sum is folded in the
-   sequential order over positionally-stable [Par.map] outputs — and the
-   sub-configuration cache uses a compute-once discipline (a pending set plus
-   a condition variable) so [evaluations] and [cache_hits] also match the
-   sequential counts exactly.
+   ([~virtual_config]), so an evaluation never mutates the catalog, and they
+   go through [Optimizer.optimize_batch]: ONE optimizer invocation per
+   (sub-)configuration plans every statement it needs against a shared
+   planning context (virtual-index installation, statistic warming and
+   index matching set up once, then fanned out over [domains t] domains).
+   Results are deterministic — batch outputs are positional and bit-for-bit
+   the per-statement plans, and every sum is folded in sequential order —
+   and the sub-configuration cache uses a compute-once discipline (a pending
+   set plus a condition variable) so [evaluations] and [cache_hits] also
+   match the sequential counts exactly.  [evaluations] counts optimizer
+   INVOCATIONS: a batch of any size counts one (the raw per-statement
+   equivalent lives in [Optimizer.counters.batch_setup_saved]).
 
    The sub-configuration cache is sharded (lock-striped): keys are sorted
    arrays of interned logical-index ids (no strings are built or hashed on
    the hot path), each key hashes to one of [shard_count] independent
    {lock, cond, cache, pending} stripes, and the counters are [Atomic]s.
-   Concurrent searches under [--domains > 1] therefore stop serializing on
-   one global mutex, while the per-key compute-once protocol — and with it
-   the counter determinism — is untouched (it only ever needed mutual
-   exclusion per key, which the owning shard still provides).
+   An entry holds the per-(sub-configuration × statement) costs — not just
+   the delta — so any later request over the same fingerprint (another
+   search round, a [workload_cost] report over the same configuration)
+   skips planning entirely.  Concurrent searches under [--domains > 1]
+   therefore stop serializing on one global mutex, while the per-key
+   compute-once protocol — and with it the counter determinism — is
+   untouched (it only ever needed mutual exclusion per key, which the
+   owning shard still provides).
 
    Note: the paper prints the maintenance term outside the frequency product;
    we scale mc by the statement frequency, which is the only reading under
@@ -43,7 +49,20 @@ module Optimizer = Xia_optimizer.Optimizer
 module Plan = Xia_optimizer.Plan
 module Workload = Xia_workload.Workload
 module Ast = Xia_query.Ast
+module Rewriter = Xia_query.Rewriter
 module Int_set = Candidate.Int_set
+
+(* One cached sub-configuration: the per-statement what-if costs computed so
+   far, plus the defs list the first computation used.  [e_defs] is pinned at
+   first compute because the planner keeps the FIRST index on an exact cost
+   tie — extending the entry under a reordered defs list could flip a
+   tie-break and disagree with the cached costs.  [e_costs] is only ever
+   read or written under the owning shard's lock once the entry is
+   published. *)
+type entry = {
+  e_defs : Xia_index.Index_def.t list;
+  e_costs : (int, float) Hashtbl.t;  (* statement index -> total cost *)
+}
 
 (* One lock stripe of the sub-configuration cache.  A fingerprint (sorted
    int array of logical ids) always hashes to the same shard, so the
@@ -51,9 +70,9 @@ module Int_set = Candidate.Int_set
 type shard = {
   lock : Mutex.t;
   cond : Condition.t;  (* signaled when one of this shard's pending keys resolves *)
-  cache : (int array, (float, exn) result) Hashtbl.t;
-      (* fingerprint -> cost delta term, or the exception its evaluation
-         raised (re-raised for every later request) *)
+  cache : (int array, (entry, exn) result) Hashtbl.t;
+      (* fingerprint -> per-statement costs, or the exception the first
+         evaluation raised (re-raised for every later request) *)
   pending : (int array, unit) Hashtbl.t;  (* keys being computed right now *)
 }
 
@@ -117,11 +136,9 @@ let create ?domains catalog (workload : Workload.t) =
      concurrent what-if calls only read the catalog. *)
   Catalog.warm_stats catalog;
   let base =
-    Par.map ~domains
-      (fun (item : Workload.item) ->
-        Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:[] catalog
-          item.statement)
-      items
+    Optimizer.optimize_batch ~mode:Optimizer.Evaluate ~domains ~virtual_config:[]
+      catalog
+      (Array.map (fun (item : Workload.item) -> item.statement) items)
   in
   {
     catalog;
@@ -137,7 +154,8 @@ let create ?domains catalog (workload : Workload.t) =
             pending = Hashtbl.create 4;
           });
     domains;
-    evaluations = Atomic.make (Array.length items);
+    (* one batched invocation costed the whole base workload *)
+    evaluations = Atomic.make (if Array.length items = 0 then 0 else 1);
     cache_hits = Atomic.make 0;
     size_memo = Xia_xpath.Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ();
     useful_memo = Atomic.make None;
@@ -156,34 +174,6 @@ let base_workload_cost t =
   let total = ref 0.0 in
   Array.iteri
     (fun i (item : Workload.item) -> total := !total +. (item.freq *. t.base_costs.(i)))
-    t.items;
-  !total
-
-(* Cost of the whole workload under a configuration (one Evaluate pass per
-   statement; captures all interactions).  Used for final reporting. *)
-let workload_cost t (config : Candidate.t list) =
-  Xia_obs.Trace.with_span "benefit.workload_cost"
-    ~args:(fun () ->
-      [
-        ("config", string_of_int (List.length config));
-        ("statements", string_of_int (Array.length t.items));
-      ])
-  @@ fun () ->
-  (* Re-warm in case the store changed since [create]: concurrent [stats]
-     reads below must never hit the lazy collection path. *)
-  Catalog.warm_stats t.catalog;
-  let defs = List.map (fun c -> c.Candidate.def) config in
-  let costs =
-    Par.map ~domains:t.domains
-      (fun (item : Workload.item) ->
-        Optimizer.statement_cost ~mode:Optimizer.Evaluate ~virtual_config:defs
-          t.catalog item.statement)
-      t.items
-  in
-  count_evaluations t (Array.length t.items);
-  let total = ref 0.0 in
-  Array.iteri
-    (fun i (item : Workload.item) -> total := !total +. (item.freq *. costs.(i)))
     t.items;
   !total
 
@@ -246,32 +236,50 @@ let fingerprint (sub : Candidate.t list) =
   Array.sort compare arr;
   arr
 
-let shard_of t fp = t.shards.((Hashtbl.hash fp) land (shard_count - 1))
+(* Shard selection must digest the WHOLE fingerprint: [Hashtbl.hash] only
+   inspects a bounded prefix of an array, so large sub-configurations
+   sharing a prefix would all pile onto one stripe.  A full multiplicative
+   fold over the ids keeps the distribution flat ([land] with 15 of any
+   OCaml int is non-negative, so the index is always in range).  Cache
+   semantics are untouched — this only picks which stripe owns a key. *)
+let shard_index fp =
+  let h = Array.fold_left (fun acc id -> (acc * 31) + id) 17 fp in
+  h land (shard_count - 1)
 
-(* Cost-delta term of one sub-configuration: Σ freq·(s_old − s_new) over its
-   affected statements.
+let shard_of t fp = t.shards.(shard_index fp)
 
-   Compute-once cache: concurrent callers asking for the same key block until
-   the first caller publishes the result, then count a cache hit — so the
-   [evaluations] / [cache_hits] totals are identical to a sequential run.
-   Failures are published too: later requests re-raise the cached exception
-   without recomputing (and without touching either counter, matching the
-   sequential run, where a failed evaluation never publishes anything). *)
-let sub_config_delta t (sub : Candidate.t list) =
-  let key = fingerprint sub in
+(* Per-statement what-if costs of [stmts] (indices into the workload, in the
+   caller's order) under the configuration fingerprinted by [key], through
+   the sharded compute-once cache.
+
+   - Fully covered request: one cache hit, no planning.
+   - Uncovered statements: ONE [Optimizer.optimize_batch] invocation plans
+     all of them under the entry's pinned [e_defs] ([defs] when the entry is
+     fresh); the new costs are merged under the shard lock, where every
+     reader of a published entry also sits.
+   - Concurrent requests for the same key block on the shard condition until
+     the owner publishes, then re-read — so [evaluations]/[cache_hits] match
+     a sequential run exactly.  A fresh entry whose evaluation fails is
+     published as [Error] and re-raised by every later request without
+     recomputing or recounting; a failed EXTENSION leaves the existing entry
+     untouched (its cached costs are still good) and just re-raises. *)
+let config_costs t ~defs key stmts =
   let shard = shard_of t key in
+  let covered entry = List.for_all (Hashtbl.mem entry.e_costs) stmts in
+  let read entry = List.map (Hashtbl.find entry.e_costs) stmts in
   let rec acquire () =
     (* shard.lock held *)
     match Hashtbl.find_opt shard.cache key with
-    | Some (Ok d) ->
-        count_hit t;
-        `Hit d
     | Some (Error e) ->
         (* A sequential run would recompute and raise again without touching
-           either counter (a failed evaluation never publishes), so re-raising
-           from the cache counts neither a hit nor any evaluations. *)
+           either counter (a failed evaluation never publishes), so
+           re-raising from the cache counts neither a hit nor an
+           evaluation. *)
         `Raise e
-    | None ->
+    | Some (Ok entry) when covered entry ->
+        count_hit t;
+        `Hit (read entry)
+    | (Some _ | None) as existing ->
         if Hashtbl.mem shard.pending key then begin
           (* Another domain is computing this key: shard contention. *)
           if Xia_obs.Obs.on () then
@@ -284,66 +292,127 @@ let sub_config_delta t (sub : Candidate.t list) =
           if Xia_obs.Obs.on () then
             Xia_obs.Metrics.incr (Lazy.force m_cache_misses);
           `Compute
+            (match existing with
+            | Some (Ok entry) -> Some entry
+            | Some (Error _) | None -> None)
         end
   in
   Mutex.lock shard.lock;
   let decision = acquire () in
   Mutex.unlock shard.lock;
   match decision with
-  | `Hit d -> d
+  | `Hit costs -> costs
   | `Raise e -> raise e
-  | `Compute ->
-      let publish ?(evals = 0) outcome =
-        Mutex.lock shard.lock;
-        Hashtbl.remove shard.pending key;
-        Hashtbl.replace shard.cache key outcome;
-        count_evaluations t evals;
-        Condition.broadcast shard.cond;
-        Mutex.unlock shard.lock
+  | `Compute prior ->
+      let entry =
+        match prior with
+        | Some entry -> entry
+        | None -> { e_defs = defs; e_costs = Hashtbl.create 16 }
+      in
+      (* Reading [e_costs] without the lock is safe here: only the pending
+         owner — us — may write, and concurrent readers never mutate. *)
+      let missing =
+        List.filter (fun i -> not (Hashtbl.mem entry.e_costs i)) stmts
       in
       (try
-         let stmt_count = ref 0 in
-         let delta =
-           Xia_obs.Trace.with_span "benefit.sub_config_delta"
-             ~args:(fun () ->
-               [
-                 ("indexes", string_of_int (List.length sub));
-                 ("statements", string_of_int !stmt_count);
-               ])
-             (fun () ->
-               let affected =
-                 List.fold_left
-                   (fun acc c -> Int_set.union acc c.Candidate.affected)
-                   Int_set.empty sub
-               in
-               let defs = List.map (fun c -> c.Candidate.def) sub in
-               let stmts =
-                 List.filter
-                   (fun i -> i >= 0 && i < Array.length t.items)
-                   (Int_set.elements affected)
-               in
-               stmt_count := List.length stmts;
-               let costs =
-                 Par.map_list ~domains:t.domains
-                   (fun stmt_index ->
-                     Optimizer.statement_cost ~mode:Optimizer.Evaluate
-                       ~virtual_config:defs t.catalog
-                       t.items.(stmt_index).Workload.statement)
-                   stmts
-               in
-               List.fold_left2
-                 (fun acc stmt_index cost_new ->
-                   let item = t.items.(stmt_index) in
-                   acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
-                 0.0 stmts costs)
+         let plans =
+           match missing with
+           | [] -> [||]
+           | _ ->
+               Optimizer.optimize_batch ~mode:Optimizer.Evaluate
+                 ~domains:t.domains ~virtual_config:entry.e_defs t.catalog
+                 (Array.of_list
+                    (List.map (fun i -> t.items.(i).Workload.statement) missing))
          in
-         publish ~evals:!stmt_count (Ok delta);
-         delta
+         Mutex.lock shard.lock;
+         Hashtbl.remove shard.pending key;
+         List.iteri
+           (fun k i -> Hashtbl.replace entry.e_costs i plans.(k).Plan.total_cost)
+           missing;
+         Hashtbl.replace shard.cache key (Ok entry);
+         count_evaluations t (match missing with [] -> 0 | _ -> 1);
+         let costs = read entry in
+         Condition.broadcast shard.cond;
+         Mutex.unlock shard.lock;
+         costs
        with e ->
-         (* Cache the failure: waiters (and any later request for this key)
-            re-raise the same exception instead of recomputing. *)
-         publish (Error e);
+         Mutex.lock shard.lock;
+         Hashtbl.remove shard.pending key;
+         (* Cache the failure of a FRESH entry: waiters (and any later
+            request for this key) re-raise instead of recomputing.  An
+            existing entry keeps its good costs. *)
+         if Option.is_none prior then Hashtbl.replace shard.cache key (Error e);
+         Condition.broadcast shard.cond;
+         Mutex.unlock shard.lock;
          raise e)
+
+(* Cost of the whole workload under a configuration (one batched Evaluate
+   pass over every statement; captures all interactions).  Used for final
+   reporting, and routed through the fingerprint cache: reporting twice over
+   the same configuration — or over a configuration whose fingerprint a
+   search already evaluated in full — skips planning entirely. *)
+let workload_cost t (config : Candidate.t list) =
+  Xia_obs.Trace.with_span "benefit.workload_cost"
+    ~args:(fun () ->
+      [
+        ("config", string_of_int (List.length config));
+        ("statements", string_of_int (Array.length t.items));
+      ])
+  @@ fun () ->
+  if Array.length t.items = 0 then 0.0
+  else begin
+    (* Re-warm in case the store changed since [create]: concurrent [stats]
+       reads below must never hit the lazy collection path. *)
+    Catalog.warm_stats t.catalog;
+    let defs = List.map (fun c -> c.Candidate.def) config in
+    let stmts = List.init (Array.length t.items) Fun.id in
+    let costs = config_costs t ~defs (fingerprint config) stmts in
+    let total = ref 0.0 in
+    List.iteri
+      (fun i cost -> total := !total +. (t.items.(i).Workload.freq *. cost))
+      costs;
+    !total
+  end
+
+(* Cost-delta term of one sub-configuration: Σ freq·(s_old − s_new) over its
+   affected statements.  The per-statement costs come from {!config_costs}
+   — one batched optimizer invocation on a cache miss, pure lookup on a
+   hit. *)
+let sub_config_delta t (sub : Candidate.t list) =
+  let affected =
+    List.fold_left
+      (fun acc c -> Int_set.union acc c.Candidate.affected)
+      Int_set.empty sub
+  in
+  let stmts = Int_set.elements affected in
+  (* An evaluator is always paired with the candidate set derived from its
+     own workload, so every affected index must land inside it.  One outside
+     means the caller mixed a stale candidate set with a different workload;
+     silently dropping such indices (as this code once did) would undercount
+     the delta — fail loudly instead. *)
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.items then
+        invalid_arg
+          (Printf.sprintf
+             "Benefit.sub_config_delta: affected statement index %d outside \
+              the %d-statement workload (stale candidate set?)"
+             i (Array.length t.items)))
+    stmts;
+  let defs = List.map (fun c -> c.Candidate.def) sub in
+  Xia_obs.Trace.with_span "benefit.sub_config_delta"
+    ~args:(fun () ->
+      [
+        ("indexes", string_of_int (List.length sub));
+        ("statements", string_of_int (List.length stmts));
+      ])
+  @@ fun () ->
+  let costs = config_costs t ~defs (fingerprint sub) stmts in
+  List.fold_left2
+    (fun acc stmt_index cost_new ->
+      let item = t.items.(stmt_index) in
+      acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
+    0.0 stmts costs
 
 (* The paper's Benefit(x1..xn; W).  Independent sub-configurations are
    evaluated concurrently; the deltas are summed in list order. *)
@@ -376,36 +445,79 @@ let config_size t (config : Candidate.t list) =
    only shows in combination (index ANDing): their individual benefit can be
    zero, yet the optimizer picks them alongside a partner.  The paper's
    preprocessing criterion — drop indexes "not being used in optimizer
-   plans" — is exactly this check. *)
+   plans" — is exactly this check.
+
+   Batched: ONE optimizer invocation plans — under the union of ALL basic
+   defs — every statement for which that is provably the same plan as under
+   its own basics.  An index only enters a plan by matching an access, so
+   the plans coincide exactly when every basic MATCHING one of the
+   statement's accesses also AFFECTS it: the filtered applicable lists are
+   then literally equal, element order included (both filter the same
+   basics-ordered defs list), so no cost or tie-break can differ.
+   Statements with cross-coverage — some basic matches an access without
+   affecting them, so the union would let a foreign index into their plan —
+   fall back to batches over their exact configuration, grouped by
+   fingerprint. *)
 let used_in_plans t (set : Candidate.set) =
   Catalog.warm_stats t.catalog;
   let basics = Candidate.basics set in
-  let per_stmt =
-    Par.map ~domains:t.domains
-      (fun (stmt_index, (item : Workload.item)) ->
-        let config =
-          List.filter (fun (c : Candidate.t) -> Int_set.mem stmt_index c.affected) basics
+  let all_defs = List.map (fun (c : Candidate.t) -> c.Candidate.def) basics in
+  let union_ok = ref [] in          (* statement indices, reverse order *)
+  let fallback = ref [] in          (* (fingerprint, defs, indices rev) *)
+  Array.iteri
+    (fun i (item : Workload.item) ->
+      let config =
+        List.filter (fun (c : Candidate.t) -> Int_set.mem i c.affected) basics
+      in
+      if config <> [] then begin
+        let accesses = Rewriter.indexable_accesses item.statement in
+        let cross =
+          List.exists
+            (fun (c : Candidate.t) ->
+              (not (Int_set.mem i c.affected))
+              && List.exists
+                   (fun a -> Optimizer.index_matches c.Candidate.def a)
+                   accesses)
+            basics
         in
-        if config = [] then None
-        else
-          let defs = List.map (fun (c : Candidate.t) -> c.Candidate.def) config in
-          let plan =
-            Optimizer.optimize ~mode:Optimizer.Evaluate ~virtual_config:defs
-              t.catalog item.statement
-          in
-          Some (List.map Xia_index.Index_def.logical_id (Plan.indexes_used plan)))
-      (Array.mapi (fun i item -> (i, item)) t.items)
-  in
+        if not cross then union_ok := i :: !union_ok
+        else begin
+          let key = fingerprint config in
+          match List.assoc_opt key !fallback with
+          | Some (_, idxs) -> idxs := i :: !idxs
+          | None ->
+              let defs =
+                List.map (fun (c : Candidate.t) -> c.Candidate.def) config
+              in
+              fallback := (key, (defs, ref [ i ])) :: !fallback
+        end
+      end)
+    t.items;
   let used = Hashtbl.create 32 in
-  let evals = ref 0 in
-  Array.iter
-    (function
-      | None -> ()
-      | Some ids ->
-          incr evals;
-          List.iter (fun k -> Hashtbl.replace used k ()) ids)
-    per_stmt;
-  count_evaluations t !evals;
+  let batches = ref 0 in
+  let plan_group defs idxs =
+    let stmts =
+      Array.of_list (List.map (fun i -> t.items.(i).Workload.statement) idxs)
+    in
+    let plans =
+      Optimizer.optimize_batch ~mode:Optimizer.Evaluate ~domains:t.domains
+        ~virtual_config:defs t.catalog stmts
+    in
+    incr batches;
+    Array.iter
+      (fun plan ->
+        List.iter
+          (fun d -> Hashtbl.replace used (Xia_index.Index_def.logical_id d) ())
+          (Plan.indexes_used plan))
+      plans
+  in
+  (match List.rev !union_ok with [] -> () | idxs -> plan_group all_defs idxs);
+  (* [fallback] was built by prepending in statement order; restore it so the
+     batch sequence — and with it every counter — is deterministic. *)
+  List.iter
+    (fun (_, (defs, idxs)) -> plan_group defs (List.rev !idxs))
+    (List.rev !fallback);
+  count_evaluations t !batches;
   used
 
 (* Is this candidate worth keeping in a search space?  Positive individual

@@ -18,9 +18,10 @@ module Workload = Xia_workload.Workload
 
 type t
 
-(** Build an evaluator: costs every statement once with no indexes.
-    [domains] (default [Par.default_domains ()]) bounds the parallel what-if
-    fan-out; any value yields bit-for-bit identical results. *)
+(** Build an evaluator: costs every statement once with no indexes (one
+    batched optimizer invocation).  [domains] (default
+    [Par.default_domains ()]) bounds the parallel what-if fan-out; any value
+    yields bit-for-bit identical results. *)
 val create : ?domains:int -> Catalog.t -> Workload.t -> t
 
 val catalog : t -> Catalog.t
@@ -28,7 +29,12 @@ val catalog : t -> Catalog.t
 (** Parallelism bound for the what-if fan-out. *)
 val domains : t -> int
 
-(** Optimizer calls made through this evaluator. *)
+(** Optimizer invocations made through this evaluator.  Every invocation is
+    batched ({!Xia_optimizer.Optimizer.optimize_batch}), so a
+    (sub-)configuration evaluation counts one however many statements it
+    plans; the per-statement raw equivalent is tracked by
+    [Optimizer.counters.batch_setup_saved].  Deterministic for any [domains]
+    value. *)
 val evaluations : t -> int
 
 (** Sub-configuration cache hits of this evaluator. *)
@@ -41,11 +47,19 @@ val cached_sub_configs : t -> int
     evaluator ever created (bench instrumentation). *)
 val total_cache_hits : unit -> int
 
+(** Cache stripe a fingerprint (sorted logical-id array) maps to — a full
+    fold over the ids, never a bounded-prefix hash, so fingerprints sharing
+    a long prefix still spread over the stripes.  Exposed for the
+    distribution regression test. *)
+val shard_index : int array -> int
+
 (** Frequency-weighted workload cost with no indexes. *)
 val base_workload_cost : t -> float
 
-(** Frequency-weighted workload cost under a configuration (full pass, used
-    for final reporting). *)
+(** Frequency-weighted workload cost under a configuration (full batched
+    pass over every statement, used for final reporting; served from the
+    sub-configuration cache when the configuration's fingerprint was already
+    evaluated in full). *)
 val workload_cost : t -> Candidate.t list -> float
 
 (** Total maintenance charge [Σ freq·mc(x, s)] of a configuration. *)
@@ -54,7 +68,11 @@ val maintenance_charge : t -> Candidate.t list -> float
 (** Partition into sub-configurations with overlapping affected sets. *)
 val sub_configurations : Candidate.t list -> Candidate.t list list
 
-(** The paper's [Benefit(x1..xn; W)]. *)
+(** The paper's [Benefit(x1..xn; W)].
+    @raise Invalid_argument if a candidate's affected set references a
+    statement index outside the evaluator's workload — a stale candidate set
+    paired with the wrong evaluator (such indices used to be dropped
+    silently, undercounting the delta). *)
 val benefit : t -> Candidate.t list -> float
 
 val individual_benefit : t -> Candidate.t -> float

@@ -110,6 +110,7 @@ let observe_us h us =
   ignore (Atomic.fetch_and_add h.sum_us (int_of_float us))
 
 let observe_s h s = observe_us h (s *. 1e6)
+let observe = observe_us
 
 (* ------------------------------------------------------------- snapshot -- *)
 

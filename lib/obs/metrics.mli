@@ -32,6 +32,11 @@ val get : gauge -> float
 val observe_us : histogram -> float -> unit
 val observe_s : histogram -> float -> unit
 
+val observe : histogram -> float -> unit
+(** [observe h v] records a unitless sample (batch sizes, counts): [v] is
+    bucketed against the registered bounds as-is.  Pass explicit [bounds_us]
+    at registration so the default latency bounds don't misbucket it. *)
+
 type snapshot_value =
   | Counter_v of int
   | Gauge_v of float

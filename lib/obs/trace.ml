@@ -23,6 +23,7 @@ type span = {
   args : (string * string) list;
   tid : int;      (* id of the domain that recorded the span *)
   seq : int;      (* per-domain close order *)
+  open_seq : int; (* per-domain open order — flush's clock-proof tie-break *)
   depth : int;    (* nesting depth at open time; 0 = toplevel *)
   start_s : float;
   stop_s : float;
@@ -36,6 +37,7 @@ type buffer = {
   lock : Mutex.t;
   mutable last_ts : float;
   mutable seq : int;
+  mutable opens : int;
   mutable depth : int;
   mutable spans : span list;  (* reverse close order *)
 }
@@ -57,6 +59,7 @@ let key =
           lock = Mutex.create ();
           last_ts = 0.0;
           seq = 0;
+          opens = 0;
           depth = 0;
           spans = [];
         }
@@ -90,11 +93,14 @@ let with_span ?(args = no_args) name f =
     let start_s = tick buf in
     let depth = buf.depth in
     buf.depth <- depth + 1;
+    let open_seq = buf.opens + 1 in
+    buf.opens <- open_seq;
     let finally () =
       buf.depth <- depth;
       let stop_s = tick buf in
       record buf
-        { name; args = args (); tid = buf.tid; seq = buf.seq + 1; depth; start_s; stop_s }
+        { name; args = args (); tid = buf.tid; seq = buf.seq + 1; open_seq;
+          depth; start_s; stop_s }
     in
     Fun.protect ~finally f
   end
@@ -118,10 +124,17 @@ let flush () =
         spans)
       (Atomic.get buffers)
   in
+  (* Tie-break on open order, not close order: a parent and the child it
+     opens within one clock tick share a (monotonized) [start_s], and close
+     order would emit the child first on exactly the runs where the tick
+     collides — flush order must not depend on clock granularity. *)
   List.sort
     (fun a b ->
       match Float.compare a.start_s b.start_s with
-      | 0 -> ( match compare a.tid b.tid with 0 -> compare a.seq b.seq | c -> c)
+      | 0 -> (
+          match compare a.tid b.tid with
+          | 0 -> compare a.open_seq b.open_seq
+          | c -> c)
       | c -> c)
     drained
 

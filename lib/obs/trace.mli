@@ -14,6 +14,12 @@ type span = {
   args : (string * string) list;
   tid : int;  (** id of the domain that recorded the span *)
   seq : int;  (** per-domain close order (1-based) *)
+  open_seq : int;
+      (** per-domain open order (1-based).  The {!flush} tie-break: two
+          same-domain spans can carry the same (monotonized) [start_s] when
+          the clock does not advance between opens, and close order would
+          put a child before its parent there — open order is the
+          chronological order regardless of clock granularity. *)
   depth : int;  (** nesting depth at open time; 0 = toplevel *)
   start_s : float;
   stop_s : float;
@@ -32,8 +38,9 @@ val timed : ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 
 
 val flush : unit -> span list
 (** Drain every domain's buffer and return all spans sorted by start time
-    (ties broken by domain id, then close order).  Spans are removed: a
-    second flush returns only spans recorded in between. *)
+    (ties broken by domain id, then open order — deterministic however
+    coarse the clock).  Spans are removed: a second flush returns only
+    spans recorded in between. *)
 
 val export_chrome : span list -> string
 (** Chrome [trace_event] JSON (one complete event per span, microsecond

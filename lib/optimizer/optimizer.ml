@@ -21,6 +21,7 @@ module C = Xia_storage.Cost_params
 module Rewriter = Xia_query.Rewriter
 module Ast = Xia_query.Ast
 module Pattern = Xia_xpath.Pattern
+module Par = Xia_par.Par
 
 type mode =
   | Normal    (* real indexes *)
@@ -32,16 +33,21 @@ type counters = {
   optimize_calls : int Atomic.t;
   enumerate_calls : int Atomic.t;
   plans_considered : int Atomic.t;
+  batched_calls : int Atomic.t;
+  batch_setup_saved : int Atomic.t;
 }
 
 let counters =
   { optimize_calls = Atomic.make 0; enumerate_calls = Atomic.make 0;
-    plans_considered = Atomic.make 0 }
+    plans_considered = Atomic.make 0; batched_calls = Atomic.make 0;
+    batch_setup_saved = Atomic.make 0 }
 
 let reset_counters () =
   Atomic.set counters.optimize_calls 0;
   Atomic.set counters.enumerate_calls 0;
-  Atomic.set counters.plans_considered 0
+  Atomic.set counters.plans_considered 0;
+  Atomic.set counters.batched_calls 0;
+  Atomic.set counters.batch_setup_saved 0
 
 (* Indexes visible to the optimizer in the given mode.  In [Evaluate] mode
    the virtual configuration is normally passed explicitly ([virtual_config]),
@@ -157,26 +163,49 @@ let est_result_docs tstats (info : Rewriter.binding_info) =
   float_of_int tstats.Path_stats.doc_count
   *. Selectivity.combined_doc_fraction tstats info.filters
 
-let plan_binding ?virtual_config catalog mode (info : Rewriter.binding_info) =
-  let table = info.source.Ast.table in
+(* Everything the planner reads about one table, assembled once and shared by
+   every statement planned against the same (virtual) configuration: data
+   statistics, the store handle, and the visible indexes with their derived
+   statistics.  [Index_stats.derive_cached] is pure and memoized, so forcing
+   it eagerly here changes no number — it only moves the derivation out of
+   the per-statement loop, and leaves the environment read-only (safe to
+   share across domains; no [Lazy.t] crosses a domain boundary). *)
+type table_env = {
+  tstats : Path_stats.t;
+  store : Doc_store.t;
+  indexes : (Index_def.t * bool * Index_stats.t) list;
+      (* visible defs in [visible_indexes] order — preserved exactly, because
+         [best_choice_for] keeps the first index on an exact cost tie *)
+}
+
+let table_env ?virtual_config catalog mode table =
   let tstats = Catalog.stats catalog table in
-  let store = Catalog.store catalog table in
-  let indexes = visible_indexes ?virtual_config catalog mode table in
+  {
+    tstats;
+    store = Catalog.store catalog table;
+    indexes =
+      List.map
+        (fun (def, is_virtual) ->
+          (def, is_virtual, Index_stats.derive_cached tstats def))
+        (visible_indexes ?virtual_config catalog mode table);
+  }
+
+let plan_binding env (info : Rewriter.binding_info) =
+  let tstats = env.tstats in
   let est_docs = est_result_docs tstats info in
   let result_cpu = est_docs *. C.cpu_per_result in
-  let scan_cost = doc_scan_cost tstats store info +. result_cpu in
+  let scan_cost = doc_scan_cost tstats env.store info +. result_cpu in
   Atomic.incr counters.plans_considered;
   (* Best matching index per access. *)
   let best_choice_for (access : Rewriter.access) =
     let applicable =
       List.filter_map
-        (fun (def, is_virtual) ->
+        (fun (def, is_virtual, stats) ->
           if index_matches def access then
-            let stats = Index_stats.derive_cached tstats def in
             if stats.Index_stats.entries = 0 then None
             else Some { Plan.def; stats; access; is_virtual }
           else None)
-        indexes
+        env.indexes
     in
     List.fold_left
       (fun acc c ->
@@ -252,10 +281,29 @@ let modify_cost_per_doc tstats ~factor =
 let optimize_latency =
   lazy (Xia_obs.Metrics.histogram "optimizer.optimize_latency_us")
 
-let do_optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
-  Atomic.incr counters.optimize_calls;
+(* Documents a DML statement modifies, from its locating binding(s).  Every
+   binding constrains the same documents, so with several the statement
+   touches at most the most selective one's estimate: fold with [min].  (A
+   previous version matched [ [ b ] -> b.est_docs | _ -> 0.0 ], silently
+   zeroing the modification cost of any multi-binding statement.) *)
+let affected_docs_of_bindings = function
+  | [] -> 0.0
+  | planned ->
+      List.fold_left
+        (fun acc (b : Plan.planned_binding) -> Float.min acc b.Plan.est_docs)
+        infinity planned
+
+(* Plan one statement against prebuilt table environments ([env_of] must
+   cover every table the statement touches).  Shared by the per-statement
+   and batched entry points — counters are incremented by the callers. *)
+let plan_statement ~env_of catalog (stmt : Ast.statement) =
   let bindings = Rewriter.bindings_of_statement stmt in
-  let planned = List.map (plan_binding ?virtual_config catalog mode) bindings in
+  let planned =
+    List.map
+      (fun (info : Rewriter.binding_info) ->
+        plan_binding (env_of info.Rewriter.source.Ast.table) info)
+      bindings
+  in
   let locate_cost = List.fold_left (fun acc b -> acc +. b.Plan.est_cost) 0.0 planned in
   match stmt with
   | Ast.Select _ ->
@@ -264,19 +312,20 @@ let do_optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement
       let cost = insert_cost catalog table document in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = 1.0 }
   | Ast.Delete { table; _ } ->
-      let tstats = Catalog.stats catalog table in
-      let affected =
-        match planned with [ b ] -> b.Plan.est_docs | _ -> 0.0
-      in
+      let tstats = (env_of table).tstats in
+      let affected = affected_docs_of_bindings planned in
       let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:1.0) in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
   | Ast.Update { table; _ } ->
-      let tstats = Catalog.stats catalog table in
-      let affected =
-        match planned with [ b ] -> b.Plan.est_docs | _ -> 0.0
-      in
+      let tstats = (env_of table).tstats in
+      let affected = affected_docs_of_bindings planned in
       let cost = locate_cost +. (affected *. modify_cost_per_doc tstats ~factor:2.0) in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = affected }
+
+let do_optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
+  Atomic.incr counters.optimize_calls;
+  plan_statement catalog stmt
+    ~env_of:(fun table -> table_env ?virtual_config catalog mode table)
 
 let optimize ?mode ?virtual_config catalog stmt =
   if not (Xia_obs.Obs.on ()) then do_optimize ?mode ?virtual_config catalog stmt
@@ -286,6 +335,57 @@ let optimize ?mode ?virtual_config catalog stmt =
     Xia_obs.Metrics.observe_s (Lazy.force optimize_latency)
       (Xia_obs.Obs.now_s () -. t0);
     plan
+  end
+
+(* Distribution of batch sizes, for the observability layer.  Unitless
+   bounds: a sample is a statement count, not a latency. *)
+let batch_size_hist =
+  lazy
+    (Xia_obs.Metrics.histogram
+       ~bounds_us:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+       "optimizer.batch_size")
+
+(* The batched what-if entry point (Section VI-C).  One virtual-config
+   setup per call: statistics warming and the per-table planning
+   environments are built once, then every statement is planned against the
+   shared context — fanned out over up to [domains] domains, positionally
+   deterministic.  Plans are bit-for-bit what per-statement [optimize] calls
+   would return: the environment precomputes exactly what per-statement
+   planning derives on the fly (same defs, same order, same memoized index
+   statistics), so no cost or tie-break can differ. *)
+let optimize_batch ?(mode = Evaluate) ?(domains = 1) ~virtual_config catalog
+    (stmts : Ast.statement array) =
+  let n = Array.length stmts in
+  if n = 0 then [||]
+  else begin
+    Atomic.incr counters.optimize_calls;
+    Atomic.incr counters.batched_calls;
+    ignore (Atomic.fetch_and_add counters.batch_setup_saved (n - 1));
+    let run () =
+      (* Force lazy statistics collection up front: afterwards the parallel
+         planners only read the catalog. *)
+      Catalog.warm_stats catalog;
+      let tables =
+        List.sort_uniq String.compare
+          (Array.fold_left (fun acc s -> List.rev_append (Ast.tables s) acc) [] stmts)
+      in
+      let envs =
+        List.map (fun t -> (t, table_env ~virtual_config catalog mode t)) tables
+      in
+      let env_of table = List.assoc table envs in
+      Par.map ~domains (plan_statement ~env_of catalog) stmts
+    in
+    if not (Xia_obs.Obs.on ()) then run ()
+    else
+      Xia_obs.Trace.with_span "optimizer.batch"
+        ~args:(fun () -> [ ("statements", string_of_int n) ])
+        (fun () ->
+          Xia_obs.Metrics.observe (Lazy.force batch_size_hist) (float_of_int n);
+          let t0 = Xia_obs.Obs.now_s () in
+          let plans = run () in
+          Xia_obs.Metrics.observe_s (Lazy.force optimize_latency)
+            (Xia_obs.Obs.now_s () -. t0);
+          plans)
   end
 
 let statement_cost ?mode ?virtual_config catalog stmt =

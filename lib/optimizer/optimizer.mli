@@ -12,8 +12,15 @@ type mode =
 
 type counters = {
   optimize_calls : int Atomic.t;
+      (** optimizer invocations: one per {!optimize} and one per
+          {!optimize_batch} (however many statements the batch plans) *)
   enumerate_calls : int Atomic.t;
   plans_considered : int Atomic.t;
+  batched_calls : int Atomic.t;  (** {!optimize_batch} invocations *)
+  batch_setup_saved : int Atomic.t;
+      (** per-statement setup phases avoided by batching: Σ (batch size − 1).
+          [optimize_calls + batch_setup_saved] is the raw-equivalent call
+          count the per-statement protocol would have made. *)
 }
 
 (** Global optimizer-call accounting (the quantity the paper's Section VI-C
@@ -40,6 +47,28 @@ val optimize :
 
 val statement_cost :
   ?mode:mode -> ?virtual_config:Index_def.t list -> Catalog.t -> Ast.statement -> float
+
+(** Batched what-if evaluation: plan every statement of [stmts] against one
+    shared planning context — virtual-index installation, catalog statistic
+    warming and index-matching setup happen once per call instead of once
+    per statement (the paper's Section VI-C lever).  Results are positional
+    and bit-for-bit identical to mapping {!optimize} over [stmts] with the
+    same [virtual_config]; the internal fan-out over up to [domains]
+    (default 1) domains never changes a plan, a cost, or a tie-break.
+    Counters: one [optimize_calls], one [batched_calls], and
+    [batch_setup_saved += length stmts − 1] per call. *)
+val optimize_batch :
+  ?mode:mode ->
+  ?domains:int ->
+  virtual_config:Index_def.t list ->
+  Catalog.t ->
+  Ast.statement array ->
+  Plan.t array
+
+(** Estimated documents a DML statement modifies, derived from its locating
+    binding(s): the most selective binding's estimate ([0.] with no locating
+    binding).  Exposed for the cost model's regression tests. *)
+val affected_docs_of_bindings : Plan.planned_binding list -> float
 
 (** Enumerate Indexes mode: the statement's basic candidate patterns, i.e.
     every access pattern matched against a universal virtual index. *)

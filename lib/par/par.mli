@@ -1,0 +1,21 @@
+(** A small stdlib-only work pool over OCaml 5 domains.
+
+    Provides the deterministic parallel-map primitive used by the what-if
+    evaluator: results are positionally identical to the sequential map, so
+    any [domains] value yields bit-for-bit the same advisor output. *)
+
+(** [Domain.recommended_domain_count ()] — the default for the advisor's
+    [?domains] knobs. *)
+val default_domains : unit -> int
+
+(** [map ~domains f arr] is [Array.map f arr], computed by up to [domains]
+    domains cooperating (the caller always participates; helper domains come
+    from a process-global pool spawned on first use).  [~domains <= 1]
+    degenerates to the plain sequential map.  If [f] raises, the exception
+    for the smallest failing index is re-raised after the batch completes —
+    the same exception a sequential map would surface.  Nested calls from
+    within [f] are safe and cannot deadlock. *)
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List version of {!map}; same determinism and exception contract. *)
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -150,13 +150,27 @@ let span_shape_prop =
           work 99;
           List.iter Domain.join spawned);
       let spans = Trace.flush () in
+      (* Flushed order restricted to one domain is exactly open order (the
+         tie-break cannot depend on clock granularity): open_seq must be
+         strictly increasing per tid in flush order. *)
+      let flush_order_is_open_order =
+        let last = Hashtbl.create 8 in
+        List.for_all
+          (fun (s : Trace.span) ->
+            let prev =
+              Option.value ~default:0 (Hashtbl.find_opt last s.Trace.tid)
+            in
+            Hashtbl.replace last s.Trace.tid s.Trace.open_seq;
+            prev < s.Trace.open_seq)
+          spans
+      in
       let by_tid = Hashtbl.create 8 in
       List.iter
         (fun (s : Trace.span) ->
           Hashtbl.replace by_tid s.Trace.tid
             (s :: Option.value ~default:[] (Hashtbl.find_opt by_tid s.Trace.tid)))
         spans;
-      spans <> []
+      spans <> [] && flush_order_is_open_order
       && Hashtbl.fold
            (fun _tid ss ok ->
              let ss =
@@ -192,12 +206,12 @@ let span_shape_prop =
 let sample_spans =
   [
     {
-      Trace.name = "outer"; args = []; tid = 0; seq = 2; depth = 0;
-      start_s = 1.0; stop_s = 2.0;
+      Trace.name = "outer"; args = []; tid = 0; seq = 2; open_seq = 1;
+      depth = 0; start_s = 1.0; stop_s = 2.0;
     };
     {
-      Trace.name = "inner"; args = [ ("k", "v") ]; tid = 0; seq = 1; depth = 1;
-      start_s = 1.25; stop_s = 1.5;
+      Trace.name = "inner"; args = [ ("k", "v") ]; tid = 0; seq = 1;
+      open_seq = 2; depth = 1; start_s = 1.25; stop_s = 1.5;
     };
   ]
 
@@ -228,7 +242,7 @@ let exporter_tests =
           [
             {
               Trace.name = "quo\"te"; args = [ ("a", "b\\c") ]; tid = 1; seq = 1;
-              depth = 0; start_s = 0.0; stop_s = 0.0;
+              open_seq = 1; depth = 0; start_s = 0.0; stop_s = 0.0;
             };
           ]
         in

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Bench ratchet: the advisor exhibits' optimizer-call counts must never
+# regress, and wall-clock must stay within a noise tolerance of baseline.
+#
+# Re-runs the quick-scale `par` exhibit in a scratch directory (so the
+# committed BENCH_advisor.json is never clobbered), extracts per-exhibit
+# optimizer_calls / optimizer_calls_raw / wall_seconds from the fresh JSON,
+# and compares against the committed bench.baseline (one
+# "exhibit metric value" triple per line, '#' comments allowed).
+#
+# Call counts are deterministic — any increase fails hard.  Wall-clock is
+# noisy, so it only fails above WALL_TOL x baseline (default 3.0; override
+# via the environment for stricter CI hosts).
+#
+#   dune build @bench-ratchet       via the build (sandboxed source copy)
+#   ./tools/bench_ratchet.sh        standalone from a checkout
+#
+# Re-baseline — after a deliberate cost-model change, or to lock in a new
+# batching win (run standalone, not through dune, so the file lands in the
+# checkout):
+#   ./tools/bench_ratchet.sh --write-baseline
+#
+# The baseline must agree with the committed BENCH_advisor.json: regenerate
+# both together (`dune exec bench/main.exe -- quick par`, then
+# `./tools/bench_ratchet.sh --write-baseline`).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WALL_TOL="${WALL_TOL:-3.0}"
+EXHIBITS="par"
+
+mode=check
+exe=""
+for arg in "$@"; do
+  case "$arg" in
+    --write-baseline) mode=write ;;
+    *) exe="$arg" ;;
+  esac
+done
+
+if [ -z "$exe" ]; then
+  exe=_build/default/bench/main.exe
+  if [ ! -x "$exe" ]; then
+    dune build bench/main.exe
+  fi
+fi
+exe=$(realpath "$exe")
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && "$exe" quick $EXHIBITS >bench.log 2>&1) || {
+  echo "bench-ratchet: bench run failed:" >&2
+  cat "$scratch/bench.log" >&2
+  exit 2
+}
+fresh="$scratch/BENCH_advisor.json"
+if [ ! -f "$fresh" ]; then
+  echo "bench-ratchet: bench run produced no BENCH_advisor.json" >&2
+  exit 2
+fi
+
+# One exhibit object per line; pull "<name> <metric> <value>" triples out of
+# the compact JSON with awk (no jq in the toolchain image).
+metrics_of() {
+  awk '
+    match($0, /"name": "[^"]*"/) {
+      name = substr($0, RSTART + 9, RLENGTH - 10)
+      for (m = 1; m <= 3; m++) {
+        metric = (m == 1 ? "optimizer_calls" : m == 2 ? "optimizer_calls_raw" : "wall_seconds")
+        pat = "\"" metric "\": "
+        if (index($0, pat) > 0) {
+          v = $0; sub(".*" pat, "", v); sub(/[,}].*/, "", v)
+          print name, metric, v
+        }
+      }
+    }' "$1"
+}
+
+fresh_metrics=$(metrics_of "$fresh")
+
+if [ "$mode" = write ]; then
+  {
+    echo "# Advisor-bench ratchet baseline: per-exhibit optimizer call counts"
+    echo "# and wall-clock from the quick-scale run.  Checked by"
+    echo "# tools/bench_ratchet.sh; regenerate (together with the committed"
+    echo "# BENCH_advisor.json) via ./tools/bench_ratchet.sh --write-baseline"
+    printf '%s\n' "$fresh_metrics"
+  } >bench.baseline
+  echo "bench-ratchet: wrote bench.baseline"
+  exit 0
+fi
+
+if [ ! -f bench.baseline ]; then
+  echo "bench-ratchet: bench.baseline missing; create it with ./tools/bench_ratchet.sh --write-baseline" >&2
+  exit 2
+fi
+
+baseline_of() {
+  awk -v ex="$1" -v metric="$2" '$1 == ex && $2 == metric { print $3 }' bench.baseline
+}
+
+fail=0
+while read -r ex metric value; do
+  [ -z "$ex" ] && continue
+  base=$(baseline_of "$ex" "$metric")
+  if [ -z "$base" ]; then
+    echo "bench-ratchet: $ex.$metric not in baseline — re-baseline with ./tools/bench_ratchet.sh --write-baseline" >&2
+    fail=1
+    continue
+  fi
+  case "$metric" in
+    wall_seconds)
+      if awk -v v="$value" -v b="$base" -v tol="$WALL_TOL" 'BEGIN { exit !(v > b * tol) }'; then
+        echo "bench-ratchet: $ex wall-clock regressed: ${value}s vs baseline ${base}s (tolerance ${WALL_TOL}x)" >&2
+        fail=1
+      fi
+      ;;
+    *)
+      if [ "$value" -gt "$base" ]; then
+        echo "bench-ratchet: $ex.$metric regressed: $value calls, baseline $base" >&2
+        fail=1
+      elif [ "$value" -lt "$base" ]; then
+        echo "bench-ratchet: $ex.$metric improved: $value calls, baseline $base — tighten with ./tools/bench_ratchet.sh --write-baseline"
+      fi
+      ;;
+  esac
+done <<<"$fresh_metrics"
+
+if [ "$fail" -ne 0 ]; then
+  {
+    echo "bench-ratchet: bench metrics above baseline.  Either fix the"
+    echo "bench-ratchet: regression, or — if the cost change is deliberate —"
+    echo "bench-ratchet: re-baseline and commit:"
+    echo "bench-ratchet:   ./tools/bench_ratchet.sh --write-baseline && git add bench.baseline"
+  } >&2
+  exit 1
+fi
+echo "bench-ratchet: OK (calls at or below baseline, wall-clock within ${WALL_TOL}x)"
