@@ -684,6 +684,17 @@ let micro () =
        Test.make ~name:"lint"
          (Staged.stage (fun () ->
               ignore (Xia_analysis.Lint.lint_paths [ lint_dir ]))));
+      (* The interprocedural effect pass alone: parse every unit, build the
+         call graph, run Effects.analyze to fixpoint and render the summary
+         dump — the @lint budget in bench.baseline rides on this staying
+         cheap. *)
+      (let lint_dir =
+         List.find_opt Sys.file_exists [ "lib"; "../lib"; "../../lib" ]
+         |> Option.value ~default:"lib"
+       in
+       Test.make ~name:"lint.effects"
+         (Staged.stage (fun () ->
+              ignore (Xia_analysis.Lint.effects_dump [ lint_dir ]))));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -1,13 +1,16 @@
 (* xia_lint — domain-safety and hygiene analyzer for this repository.
 
    Usage: xia_lint [--json] [--allow-file FILE] [--whatif-modules a,b]
-                   [--callgraph] [--explain ID] PATH...
+                   [--callgraph] [--effects] [--explain ID] PATH...
 
    Lints every .ml under the given paths (default: lib) as one program: the
    whole library set is parsed once, a cross-unit call graph is built from
-   it, and the check catalog in Xia_analysis.Checks / Xia_analysis.Races
-   runs over the shared graph.  --callgraph prints the graph as Graphviz DOT
-   instead of linting; --explain ID prints one check's documentation.
+   it, the interprocedural effect pass (Xia_analysis.Effects) summarizes
+   every binding, and the check catalog in Xia_analysis.Checks /
+   Xia_analysis.Races runs over the shared graph and summaries.
+   --callgraph prints the graph as Graphviz DOT instead of linting;
+   --effects prints the per-binding effect summaries; --explain ID prints
+   one check's documentation.
    Exit codes: 0 clean, 1 findings, 2 usage/parse/allow-file errors. *)
 
 module Lint = Xia_analysis.Lint
@@ -18,6 +21,7 @@ module Suppress = Xia_analysis.Suppress
 let () =
   let json = ref false in
   let callgraph = ref false in
+  let effects = ref false in
   let explain = ref "" in
   let allow_file = ref "" in
   let whatif = ref "" in
@@ -28,6 +32,9 @@ let () =
       ( "--callgraph",
         Arg.Set callgraph,
         " print the cross-unit call graph as Graphviz DOT and exit" );
+      ( "--effects",
+        Arg.Set effects,
+        " print the per-binding interprocedural effect summaries and exit" );
       ( "--explain",
         Arg.Set_string explain,
         "ID print one check's title and rationale and exit" );
@@ -41,7 +48,8 @@ let () =
     ]
   in
   let usage =
-    "xia_lint [--json] [--allow-file FILE] [--callgraph] [--explain ID] PATH..."
+    "xia_lint [--json] [--allow-file FILE] [--callgraph] [--effects] [--explain \
+     ID] PATH..."
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   if !explain <> "" then begin
@@ -63,10 +71,19 @@ let () =
     print_string dot;
     exit (if errors = [] then 0 else 2)
   end;
+  if !effects then begin
+    let dump, errors = Lint.effects_dump paths in
+    List.iter
+      (fun (e : Lint.error) -> Printf.eprintf "xia_lint: %s: %s\n" e.path e.message)
+      errors;
+    print_string dump;
+    exit (if errors = [] then 0 else 2)
+  end;
   let config =
     if !whatif = "" then Checks.default_config
     else
       {
+        Checks.default_config with
         Checks.whatif_modules =
           String.split_on_char ',' !whatif
           |> List.map String.trim

@@ -291,20 +291,6 @@ let preds t n =
     (fun k -> Hashtbl.find_opt t.node_tbl k)
     (Option.value ~default:[] (Hashtbl.find_opt t.pred (key n)))
 
-(* All nodes from which [n] is transitively reachable, including [n]. *)
-let reaching t n =
-  let seen = Hashtbl.create 16 in
-  let rec visit n =
-    let k = key n in
-    if not (Hashtbl.mem seen k) then begin
-      Hashtbl.replace seen k n;
-      List.iter visit (preds t n)
-    end
-  in
-  visit n;
-  Hashtbl.fold (fun _ n acc -> n :: acc) seen []
-  |> List.sort (fun a b -> compare (key a) (key b))
-
 let build units_in =
   let units = List.sort (fun a b -> String.compare a.path b.path) units_in in
   let node_tbl = Hashtbl.create 256 in

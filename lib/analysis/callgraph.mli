@@ -53,9 +53,5 @@ val resolve : t -> unit_info -> string list -> node list
 val succs : t -> node -> node list
 val preds : t -> node -> node list
 
-(** All nodes from which the given node is transitively reachable, including
-    itself; sorted by [key]. *)
-val reaching : t -> node -> node list
-
 (** Deterministic Graphviz rendering (nodes and edges sorted). *)
 val to_dot : t -> string

@@ -5,9 +5,10 @@
 
    Unit-local checks (this file): D001, D002, D004, H002 walk one
    compilation unit's parsetree; H001 is filesystem-level.  Whole-program
-   checks: D003 (below) runs interprocedural reachability over the
+   checks: D003, N001, E001 and E002 (below) are queries over the
+   interprocedural effect summaries computed by [Effects] on the
    cross-unit call graph built by [Callgraph]; the R-series race checks
-   live in [Races] on the same graph.
+   and N002 live in [Races] on the same summaries.
 
    Identifier references are matched on [Longident] paths after module-alias
    expansion through the graph — full name resolution (shadowing, functors,
@@ -20,79 +21,27 @@ open Parsetree
 type config = {
   whatif_modules : string list;
       (* lowercase module basenames subject to D003 *)
+  io_modules : string list;
+      (* lowercase module basenames sanctioned to perform IO (E001) *)
+  batch_roots : string list;
+      (* binding names whose call closure E002 polices *)
 }
 
-let default_config = { whatif_modules = [ "benefit"; "optimizer" ] }
+let default_config =
+  {
+    whatif_modules = [ "benefit"; "optimizer" ];
+    io_modules = [ "persist" ];
+    batch_roots = [ "optimize_batch" ];
+  }
 
-let has_suffix ~suffix path =
-  let rec strip k l = if k <= 0 then Some l else match l with [] -> None | _ :: t -> strip (k - 1) t in
-  match strip (List.length path - List.length suffix) path with
-  | Some tail -> List.equal String.equal tail suffix
-  | None -> false
-
+let has_suffix = Effects.has_suffix
 let allow id attrs = List.mem id (Suppress.allow_ids attrs)
 
 (* ---------------------------------------------------------------- D001 -- *)
 
-(* Field names declared [mutable] anywhere in this compilation unit.  The
-   parsetree carries no type information, so this is the file-local
-   approximation of "record literal with mutable fields". *)
-let mutable_field_names structure =
-  let fields = Hashtbl.create 16 in
-  let type_declaration _it (td : type_declaration) =
-    (match td.ptype_kind with
-    | Ptype_record labels ->
-        List.iter
-          (fun (ld : label_declaration) ->
-            if ld.pld_mutable = Asttypes.Mutable then
-              Hashtbl.replace fields ld.pld_name.txt ())
-          labels
-    | _ -> ());
-    ()
-  in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      type_declaration =
-        (fun it td ->
-          type_declaration it td;
-          Ast_iterator.default_iterator.type_declaration it td);
-    }
-  in
-  it.structure it structure;
-  fields
-
-(* A binding whose right-hand side evaluates to one of these at module
-   initialization is shared mutable state. *)
-let flagged_allocators =
-  [
-    ([ "Hashtbl"; "create" ], "Hashtbl.create");
-    ([ "Buffer"; "create" ], "Buffer.create");
-    ([ "Queue"; "create" ], "Queue.create");
-    ([ "Stack"; "create" ], "Stack.create");
-    ([ "Weak"; "create" ], "Weak.create");
-    ([ "Dynarray"; "create" ], "Dynarray.create");
-    ([ "Bytes"; "create" ], "Bytes.create");
-    ([ "Bytes"; "make" ], "Bytes.make");
-    ([ "Array"; "make" ], "Array.make");
-    ([ "Array"; "create_float" ], "Array.create_float");
-    ([ "Array"; "init" ], "Array.init");
-    ([ "Array"; "make_matrix" ], "Array.make_matrix");
-  ]
-
-(* Wrappers that make toplevel state domain-safe (or defer it): their
-   arguments may allocate freely. *)
-let safe_wrappers =
-  [
-    [ "Atomic"; "make" ];
-    [ "DLS"; "new_key" ];
-    [ "Mutex"; "create" ];
-    [ "Condition"; "create" ];
-    [ "Semaphore"; "Counting"; "make" ];
-    [ "Semaphore"; "Binary"; "make" ];
-    [ "Lazy"; "from_fun" ];
-    [ "Lazy"; "from_val" ];
-  ]
+(* The D001 state classifiers ([mutable_field_names], [d001_hits], the
+   allocator/wrapper tables) live in [Effects]: the effect pass and this
+   check must agree on what counts as raw mutable state. *)
 
 let d001_message what =
   Printf.sprintf
@@ -100,92 +49,10 @@ let d001_message what =
      Atomic/Domain.DLS/Mutex/Lazy or allocate per instance"
     what
 
-(* Does this expression evaluate to a function?  Walks through the wrappers
-   a closure definition commonly sits under. *)
-let rec returns_closure (e : expression) =
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
-  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
-  | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) | Pexp_let (_, _, e)
-  | Pexp_sequence (_, e) ->
-      returns_closure e
-  | Pexp_ifthenelse (_, t, Some f) -> returns_closure t || returns_closure f
-  | _ -> false
-
-(* Classify the right-hand side of a module-toplevel binding.  Descends
-   through wrappers that merely surround the initializer and through data
-   constructors whose payload would still be reachable shared state. *)
-let rec d001_hits mutable_fields acc (e : expression) =
-  if allow "D001" e.pexp_attributes then acc
-  else
-    match e.pexp_desc with
-    (* Deferred allocation: a fresh value per call, not shared state. *)
-    | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ | Pexp_lazy _ -> acc
-    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e)
-    | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) ->
-        d001_hits mutable_fields acc e
-    | Pexp_let (_, vbs, body) ->
-        (* A memoizing closure — [let memo = ref None in fun () -> ...] — is
-           toplevel shared state with extra steps: the closure outlives the
-           binding and every caller shares the captured allocation.  Scan the
-           let-in bindings whenever the whole expression evaluates to a
-           function; a let-in whose body is a plain value ran once at init
-           and its locals are unreachable afterwards. *)
-        let acc =
-          if returns_closure body then
-            List.fold_left
-              (fun acc (vb : value_binding) ->
-                if allow "D001" vb.pvb_attributes then acc
-                else d001_hits mutable_fields acc vb.pvb_expr)
-              acc vbs
-          else acc
-        in
-        d001_hits mutable_fields acc body
-    | Pexp_sequence (_, e2) -> d001_hits mutable_fields acc e2
-    | Pexp_ifthenelse (_, t, f) ->
-        let acc = d001_hits mutable_fields acc t in
-        Option.fold ~none:acc ~some:(d001_hits mutable_fields acc) f
-    | Pexp_tuple es -> List.fold_left (d001_hits mutable_fields) acc es
-    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) ->
-        d001_hits mutable_fields acc e
-    | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, _) ->
-        let path = Longident.flatten lid.txt in
-        if List.exists (fun suffix -> has_suffix ~suffix path) safe_wrappers then acc
-        else if List.equal String.equal path [ "ref" ]
-                || List.equal String.equal path [ "Stdlib"; "ref" ]
-        then (e.pexp_loc, "ref") :: acc
-        else (
-          match
-            List.find_opt (fun (suffix, _) -> has_suffix ~suffix path) flagged_allocators
-          with
-          | Some (_, name) -> (e.pexp_loc, name) :: acc
-          | None -> acc)
-    | Pexp_record (fields, base) ->
-        let mutable_labels =
-          List.filter_map
-            (fun ((lid : Longident.t Location.loc), _) ->
-              match List.rev (Longident.flatten lid.txt) with
-              | last :: _ when Hashtbl.mem mutable_fields last -> Some last
-              | _ -> None)
-            fields
-        in
-        if mutable_labels <> [] then
-          ( e.pexp_loc,
-            Printf.sprintf "record literal with mutable field %s"
-              (String.concat ", " mutable_labels) )
-          :: acc
-        else
-          let acc =
-            List.fold_left (fun acc (_, fe) -> d001_hits mutable_fields acc fe) acc fields
-          in
-          Option.fold ~none:acc ~some:(d001_hits mutable_fields acc) base
-    | Pexp_array _ -> (e.pexp_loc, "array literal") :: acc
-    | _ -> acc
-
 (* Walk only module-toplevel bindings (recursing into nested [module M =
    struct .. end]); allocation inside a function body is per-call and fine. *)
 let check_d001 structure =
-  let mutable_fields = mutable_field_names structure in
+  let mutable_fields = Effects.mutable_field_names structure in
   let findings = ref [] in
   let emit (loc, what) =
     findings := Finding.of_location ~id:"D001" ~message:(d001_message what) loc :: !findings
@@ -197,7 +64,7 @@ let check_d001 structure =
             List.iter
               (fun (vb : value_binding) ->
                 if not (allow "D001" vb.pvb_attributes) then
-                  List.iter emit (d001_hits mutable_fields [] vb.pvb_expr))
+                  List.iter emit (Effects.d001_hits mutable_fields [] vb.pvb_expr))
               vbs
         | Pstr_module mb ->
             if not (allow "D001" mb.pmb_attributes) then module_expr mb.pmb_expr
@@ -297,88 +164,159 @@ let check_exprs ~notes ~d004 structure =
 
 (* ---------------------------------------------------------------- D003 -- *)
 
-(* Mutation entry points of the shared catalog/store API.  [warm_stats] is
-   deliberately absent: it is the sanctioned synchronization point what-if
-   entry code calls *before* fanning out (PR 1's contract). *)
-let catalog_mutators =
-  [
-    "add_table"; "create_index"; "drop_index"; "drop_all_indexes";
-    "refresh_indexes"; "set_virtual_indexes"; "clear_virtual_indexes";
-    "runstats"; "runstats_all";
-  ]
-
-let store_mutators = [ "insert"; "delete"; "replace" ]
-
-let mutator_of_path path =
-  match List.rev path with
-  | f :: m :: _ when String.equal m "Catalog" && List.mem f catalog_mutators ->
-      Some ("Catalog." ^ f)
-  | f :: m :: _ when String.equal m "Doc_store" && List.mem f store_mutators ->
-      Some ("Doc_store." ^ f)
-  | _ -> None
-
-(* Whole-program D003: a mutator call site — in any unit — fires when some
-   binding of a what-if module can reach it through the cross-unit call
-   graph.  Mutator paths are matched after alias expansion
-   ([Catalog.runstats], [Xia_index.Catalog.runstats], or any local alias of
-   either), so the check polices the catalog/store API boundary; mutation
-   smuggled through an unqualified internal helper of the mutated module
-   itself is out of reach (DESIGN.md §5f).  The reachable-entries list in
-   the message names every binding the site is reachable from, qualified
-   with the unit module name when it lives in another unit. *)
-let check_d003_program ~config graph =
+(* Whole-program D003: a catalog/store mutator site — in any unit — fires
+   when some binding of a what-if module carries it in its effect summary,
+   i.e. can reach it through the cross-unit call graph.  [Effects] matches
+   mutator paths after alias expansion ([Catalog.runstats],
+   [Xia_index.Catalog.runstats], or any local alias of either), so the
+   check polices the catalog/store API boundary; mutation smuggled through
+   an unqualified internal helper of the mutated module itself is out of
+   reach (DESIGN.md §5f).  The reachable-entries list in the message names
+   every binding whose summary contains the site ([mutation_entries], the
+   pass's reverse index — the site's host included), qualified with the
+   unit module name when it lives in another unit. *)
+let check_d003_program ~config eff graph =
   let is_whatif (u : Callgraph.unit_info) = List.mem u.basename config.whatif_modules in
   List.concat_map
     (fun (n : Callgraph.node) ->
-      let sites = ref [] in
-      let stack = ref [ Suppress.allow_ids n.attrs ] in
-      let active id = List.exists (List.mem id) !stack in
-      let it =
-        {
-          Ast_iterator.default_iterator with
-          expr =
-            (fun it e ->
-              stack := Suppress.allow_ids e.pexp_attributes :: !stack;
-              (match e.pexp_desc with
-              | Pexp_ident lid -> (
-                  match
-                    mutator_of_path (Callgraph.expand graph n.u (Longident.flatten lid.txt))
-                  with
-                  | Some m when not (active "D003") -> sites := (e.pexp_loc, m) :: !sites
-                  | _ -> ())
-              | _ -> ());
-              Ast_iterator.default_iterator.expr it e;
-              stack := List.tl !stack);
-        }
-      in
-      it.expr it n.expr;
-      match List.rev !sites with
-      | [] -> []
-      | sites ->
-          let reaching = Callgraph.reaching graph n in
-          if not (List.exists (fun (r : Callgraph.node) -> is_whatif r.u) reaching) then
-            []
+      List.filter_map
+        (fun (s : Effects.site) ->
+          let hosts = Effects.mutation_entries eff s.s_loc in
+          if not (List.exists (fun (r : Callgraph.node) -> is_whatif r.u) hosts) then
+            None
           else
             let entries =
               List.map
                 (fun (r : Callgraph.node) ->
                   if String.equal r.u.path n.u.path then r.name
                   else r.u.modname ^ "." ^ r.name)
-                reaching
+                hosts
               |> List.sort String.compare
             in
-            List.map
-              (fun (loc, mutator) ->
-                let message =
-                  Printf.sprintf
-                    "catalog/store mutation %s on a what-if evaluation path (in %s, \
-                     reachable from: %s); what-if evaluation must not mutate shared \
-                     state — pass ?virtual_config instead"
-                    mutator n.name (String.concat ", " entries)
-                in
-                Finding.of_location ~id:"D003" ~message loc)
-              sites)
+            let message =
+              Printf.sprintf
+                "catalog/store mutation %s on a what-if evaluation path (in %s, \
+                 reachable from: %s); what-if evaluation must not mutate shared \
+                 state — pass ?virtual_config instead"
+                s.s_what n.name (String.concat ", " entries)
+            in
+            Some (Finding.of_location ~id:"D003" ~message s.s_loc))
+        (Effects.local_mutations eff n))
     (Callgraph.nodes graph)
+
+(* --------------------------------------------------------- N001 & E-series -- *)
+
+let in_lib path = List.mem "lib" (String.split_on_char '/' path)
+let in_dir d path = List.mem d (String.split_on_char '/' path)
+
+let n001_message what =
+  Printf.sprintf
+    "%s builds a list in hash iteration order with no canonicalizing sort in \
+     the same binding; the unspecified order escapes into the result — sort \
+     it (List.sort) before it leaves the function"
+    what
+
+(* N001: an order-dependent fold in library code whose literal closure
+   builds a list and whose binding never sorts — the iteration order leaks
+   into a value the advise path may return or cache.  Library-scoped: bin/
+   and bench/ print for humans and may keep hash order. *)
+let check_n001_program eff graph =
+  List.concat_map
+    (fun (n : Callgraph.node) ->
+      if not (in_lib n.u.path) then []
+      else
+        List.filter_map
+          (fun (s : Effects.site) ->
+            if s.s_suppressed then None
+            else
+              Some (Finding.of_location ~id:"N001" ~message:(n001_message s.s_what) s.s_loc))
+          (Effects.local_order eff n))
+    (Callgraph.nodes graph)
+
+let e001_message what =
+  Printf.sprintf
+    "IO effect (%s) in library code outside lib/obs and the persistence \
+     boundary: route output through Xia_obs.Obs and file traffic through the \
+     sanctioned IO modules, or lift the channel to the caller"
+    what
+
+(* E001: IO in lib/ outside the sanctioned surfaces.  lib/obs owns logging,
+   lib/analysis is the linter itself (it reads the source tree it checks),
+   and [config.io_modules] names the persistence boundary. *)
+let check_e001_program ~config eff graph =
+  List.concat_map
+    (fun (n : Callgraph.node) ->
+      if
+        (not (in_lib n.u.path))
+        || in_dir "obs" n.u.path
+        || in_dir "analysis" n.u.path
+        || List.mem n.u.basename config.io_modules
+      then []
+      else
+        List.filter_map
+          (fun (s : Effects.site) ->
+            if s.s_suppressed then None
+            else
+              Some (Finding.of_location ~id:"E001" ~message:(e001_message s.s_what) s.s_loc))
+          (Effects.local_io eff n))
+    (Callgraph.nodes graph)
+
+let e002_message what root via =
+  Printf.sprintf
+    "shared-state write (%s) reachable from %s's virtual-config path%s; \
+     what-if evaluation beyond the sanctioned warm_stats/table_env sites \
+     must stay effect-free — thread state through arguments or move the \
+     write outside the batch"
+    what root
+    (match via with [] -> "" | _ -> " via " ^ String.concat " -> " via)
+
+(* E002: walk the call closure of every [config.batch_roots] binding (the
+   virtual-config what-if path) and flag raw shared-state writes.  Cuts:
+   [warm_stats]/[table_env] are the sanctioned synchronization points,
+   lib/obs and the Par runtime are instrumentation/scheduling, and a
+   lock-disciplined callee (Mutex body or [@lint.allow "R001"]) manages its
+   own state.  Atomic writes never produce witnesses in the first place. *)
+let check_e002_program ~config eff graph =
+  let sanctioned (m : Callgraph.node) =
+    List.mem m.name [ "warm_stats"; "table_env" ]
+    || in_dir "obs" m.u.path
+    || String.equal m.u.basename "par"
+    || Effects.lock_disciplined eff m
+  in
+  let emitted = Hashtbl.create 16 in
+  let findings = ref [] in
+  let emit root via (s : Effects.site) =
+    let p = s.s_loc.Location.loc_start in
+    let dedup = (p.Lexing.pos_fname, p.Lexing.pos_lnum, p.Lexing.pos_cnum) in
+    if (not s.s_suppressed) && not (Hashtbl.mem emitted dedup) then begin
+      Hashtbl.replace emitted dedup ();
+      findings :=
+        Finding.of_location ~id:"E002" ~message:(e002_message s.s_what root via) s.s_loc
+        :: !findings
+    end
+  in
+  let roots =
+    List.filter
+      (fun (n : Callgraph.node) -> List.mem n.name config.batch_roots)
+      (Callgraph.nodes graph)
+  in
+  List.iter
+    (fun (root : Callgraph.node) ->
+      let seen = Hashtbl.create 64 in
+      let rec visit via (m : Callgraph.node) =
+        let k = Callgraph.key m in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          List.iter (emit root.name via) (Effects.local_writes eff m);
+          let via' = via @ [ m.name ] in
+          List.iter
+            (fun (c : Callgraph.node) -> if not (sanctioned c) then visit via' c)
+            (Effects.calls eff m)
+        end
+      in
+      visit [] root)
+    roots;
+  List.rev !findings
 
 (* ---------------------------------------------------------------- H001 -- *)
 
@@ -468,6 +406,29 @@ let catalog =
          directly.";
     };
     {
+      id = "E001";
+      title = "IO effect in library code";
+      detail =
+        "The effect pass found an unambiguous IO operation (printf, print_*, \
+         output_*, open_*, In_channel/Out_channel, Sys file ops) in lib/ code \
+         outside lib/obs, lib/analysis and the sanctioned persistence modules.  \
+         Library code reports through Xia_obs.Obs and performs file traffic \
+         behind the persistence boundary; everything else lifts the channel to \
+         the bin/ or bench/ caller.";
+    };
+    {
+      id = "E002";
+      title = "shared-state write on the virtual-config path";
+      detail =
+        "A write to shared mutable state (ref assignment, container mutator, \
+         mutable-field write) is transitively reachable from \
+         Optimizer.optimize_batch's virtual-config what-if path.  The batch \
+         contract allows exactly two synchronization points — Catalog.warm_stats \
+         before the fan-out and the memoized table_env — plus Atomic/Mutex-\
+         disciplined state; anything else can corrupt concurrent what-if \
+         evaluations.  Thread state through arguments instead.";
+    };
+    {
       id = "H001";
       title = "module without an .mli interface";
       detail =
@@ -483,6 +444,28 @@ let catalog =
          same or previous line.  The note documents why the case cannot \
          happen; without it the dead branch is indistinguishable from an \
          unhandled one.";
+    };
+    {
+      id = "N001";
+      title = "hash iteration order escapes into a result";
+      detail =
+        "A Hashtbl/Queue fold or iter in lib/ whose closure builds a list, in a \
+         binding that never sorts: the container's unspecified iteration order \
+         escapes into a value the advise path may return or cache, so the same \
+         workload can produce differently-ordered recommendations across runs.  \
+         Sort the result (List.sort) before it leaves the function, or suppress \
+         when a later total-order sort canonicalizes it.";
+    };
+    {
+      id = "N002";
+      title = "order-fragile parallel float reduction";
+      detail =
+        "A parallel fan-out combines float work without the sanctioned \
+         deterministic reduction: either the task body accumulates into shared \
+         state (t := !t +. x) — racy and order-varying — or the fan-out's \
+         results are folded with bare float arithmetic whose grouping depends \
+         on scheduling history.  Use Par.sum_list (fixed sequential combine \
+         over per-task results), which keeps the sum bit-for-bit reproducible.";
     };
     {
       id = "R001";

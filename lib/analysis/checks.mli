@@ -10,13 +10,19 @@
     - [H001] module without an [.mli] interface (filesystem-level).
     - [H002] [failwith]/[assert false] without a [(* lint: reason *)] note.
 
-    Whole-program checks (interprocedural, over the cross-unit call graph
-    built by {!Callgraph}):
+    Whole-program checks (interprocedural, queries over the {!Effects}
+    summaries computed on the cross-unit call graph built by {!Callgraph}):
 
     - [D003] catalog/store mutation transitively reachable — across
       compilation units — from a binding of a what-if evaluation module,
       enforcing PR 1's reentrancy contract.
-    - [R001]/[R002]/[R003] the domain-race series; implemented in {!Races}.
+    - [N001] hash iteration order escaping into a returned/cached result in
+      [lib/].
+    - [E001] IO effects in [lib/] outside the sanctioned surfaces.
+    - [E002] shared-state writes reachable from the virtual-config batch
+      path.
+    - [R001]/[R002]/[R003] the domain-race series and [N002] (order-fragile
+      parallel float reduction); implemented in {!Races}.
 
     Identifier references are matched on [Longident] paths after
     module-alias expansion through the graph; full name resolution
@@ -27,6 +33,12 @@ type config = {
   whatif_modules : string list;
       (** lowercase module basenames whose bindings are D003 entry points,
           e.g. [\["benefit"; "optimizer"\]] *)
+  io_modules : string list;
+      (** lowercase module basenames sanctioned to perform IO — the
+          persistence boundary E001 carves out, e.g. [\["persist"\]] *)
+  batch_roots : string list;
+      (** binding names whose transitive call closure E002 polices,
+          e.g. [\["optimize_batch"\]] *)
 }
 
 val default_config : config
@@ -42,10 +54,26 @@ val check_structure :
   Parsetree.structure ->
   Finding.t list
 
-(** Whole-program D003 over the shared call graph: flags every
-    alias-expanded [Catalog.*]/[Doc_store.*] mutator call site reachable
-    from a binding of a what-if module. *)
-val check_d003_program : config:config -> Callgraph.t -> Finding.t list
+(** Whole-program D003 over the effect summaries: flags every
+    alias-expanded [Catalog.*]/[Doc_store.*] mutator site carried in the
+    summary of a what-if-module binding. *)
+val check_d003_program :
+  config:config -> Effects.t -> Callgraph.t -> Finding.t list
+
+(** N001: order-dependent folds in [lib/] whose literal closure builds a
+    list with no canonicalizing sort in the same binding. *)
+val check_n001_program : Effects.t -> Callgraph.t -> Finding.t list
+
+(** E001: IO sites in [lib/] outside [lib/obs], [lib/analysis] and
+    [config.io_modules]. *)
+val check_e001_program :
+  config:config -> Effects.t -> Callgraph.t -> Finding.t list
+
+(** E002: shared-state writes in the transitive call closure of
+    [config.batch_roots] bindings, beyond the sanctioned
+    [warm_stats]/[table_env]/lock-disciplined sites. *)
+val check_e002_program :
+  config:config -> Effects.t -> Callgraph.t -> Finding.t list
 
 (** [missing_mli ~mls ~mlis] — H001: every [.ml] path with no matching
     [.mli] path (compared by extension-stripped name). *)
@@ -63,23 +91,3 @@ type check_info = {
 val catalog : check_info list
 
 val find_check : string -> check_info option
-
-(** {1 Shared classification helpers} (used by {!Races}) *)
-
-(** Is [suffix] a component suffix of [path]?
-    [has_suffix ~suffix:\["Par"; "map"\] \["Xia_core"; "Par"; "map"\]] is
-    [true]. *)
-val has_suffix : suffix:string list -> string list -> bool
-
-(** Field names declared [mutable] anywhere in this compilation unit. *)
-val mutable_field_names : Parsetree.structure -> (string, unit) Hashtbl.t
-
-(** Classify an expression as raw shared mutable state: every
-    [(location, allocator)] pair found descending through wrappers and data
-    constructors.  Empty for deferred allocations (functions, [lazy]) and
-    Atomic/Mutex/DLS-wrapped initializers. *)
-val d001_hits :
-  (string, unit) Hashtbl.t ->
-  (Location.t * string) list ->
-  Parsetree.expression ->
-  (Location.t * string) list

@@ -32,16 +32,24 @@ let parse_structure ~filename source =
   | e -> Error { path = filename; message = Printexc.to_string e }
 
 (* Every parsetree-level finding of a program: the unit-local checks per
-   unit, then D003 and the R-series over the shared graph. *)
+   unit, then the whole-program checks (D003, N001, E001, E002, the
+   R-series and N002) over the shared graph and one effect-inference
+   pass. *)
 let program_findings ~config units =
   let graph = Callgraph.build units in
+  let eff = Effects.analyze graph in
   let per_unit =
     List.concat_map
       (fun (u : Callgraph.unit_info) ->
         Checks.check_structure ~filename:u.path ~source:u.source u.structure)
       units
   in
-  per_unit @ Checks.check_d003_program ~config graph @ Races.check graph
+  per_unit
+  @ Checks.check_d003_program ~config eff graph
+  @ Checks.check_n001_program eff graph
+  @ Checks.check_e001_program ~config eff graph
+  @ Checks.check_e002_program ~config eff graph
+  @ Races.check graph eff
 
 let lint_source ?(config = Checks.default_config) ~filename source =
   match parse_structure ~filename source with
@@ -117,11 +125,19 @@ let callgraph_dot paths =
   let units, parse_errors = load_units mls in
   (Callgraph.to_dot (Callgraph.build units), walk_errors @ parse_errors)
 
+(* Deterministic per-binding effect-summary dump over the same unit set
+   (the [--effects] output). *)
+let effects_dump paths =
+  let mls, _, walk_errors = collect_sources paths in
+  let units, parse_errors = load_units mls in
+  (Effects.dump (Effects.analyze (Callgraph.build units)), walk_errors @ parse_errors)
+
 (* ------------------------------------------------------ JSON rendering -- *)
 
 (* Schema version of the machine-readable report.  Bump when the envelope
-   shape changes; the fixtures in test/ lock the bytes. *)
-let json_schema_version = 2
+   shape changes; the fixtures in test/ lock the bytes.  v3: N/E-series
+   checks in the catalog, top-level "errors" array. *)
+let json_schema_version = 3
 
 let report_to_json (r : report) =
   let buf = Buffer.create 4096 in
@@ -161,11 +177,25 @@ let report_to_json (r : report) =
                   r.suppressed) ))
   in
   Buffer.add_string buf
-    (Printf.sprintf "  \"suppressed\": {\"total\": %d, \"by_id\": {%s}}\n"
+    (Printf.sprintf "  \"suppressed\": {\"total\": %d, \"by_id\": {%s}},\n"
        (List.length r.suppressed)
        (String.concat ", "
           (List.map
              (fun (id, n) -> Printf.sprintf "\"%s\": %d" (Finding.json_escape id) n)
              by_id)));
+  (match r.errors with
+  | [] -> Buffer.add_string buf "  \"errors\": []\n"
+  | es ->
+      Buffer.add_string buf "  \"errors\": [\n";
+      let n = List.length es in
+      List.iteri
+        (fun i e ->
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"path\":\"%s\",\"message\":\"%s\"}%s\n"
+               (Finding.json_escape e.path)
+               (Finding.json_escape e.message)
+               (if i = n - 1 then "" else ",")))
+        es;
+      Buffer.add_string buf "  ]\n");
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -34,10 +34,16 @@ val lint_paths :
     subset). *)
 val callgraph_dot : string list -> string * error list
 
+(** Deterministic per-binding effect-summary dump ({!Effects.dump}) over
+    every [.ml] under [paths], plus any walk/parse errors (the dump covers
+    the parsable subset). *)
+val effects_dump : string list -> string * error list
+
 (** Schema version of {!report_to_json}'s envelope. *)
 val json_schema_version : int
 
 (** The versioned machine-readable report: schema version, check catalog,
     findings sorted by (file, line, col, id), suppressed totals per check
-    ID.  Byte-stable for identical inputs (fixture-locked in test/). *)
+    ID, walk/parse errors.  Byte-stable for identical inputs
+    (fixture-locked in test/). *)
 val report_to_json : report -> string

@@ -1,16 +1,20 @@
-(* The R-series: domain-race checks over the cross-unit call graph.
+(* The R-series (domain races) and N002 (order-fragile parallel float
+   reduction), run over the cross-unit call graph and the [Effects]
+   summaries computed on it.
 
    R001  module-level or escaping mutable state reached from a parallel
          task: a closure (or named function) passed to [Par.map] /
          [Par.map_list] / [Par.iter] / [Domain.spawn] that captures a raw
          mutable local ([ref], [Hashtbl.create], ...), mutates a field of a
          captured value, or — transitively, through helpers in any unit —
-         references raw module-toplevel mutable state.  Wrapped state
-         (Atomic, Mutex, Domain.DLS, Lazy, Interner.Cache) never classifies
-         as raw, and a function whose body takes a [Mutex.lock] is assumed
-         lock-disciplined and skipped (its callees included): a linear
-         analysis cannot pair each access with its critical section, so it
-         defers to the human there rather than spray false positives.
+         references raw module-toplevel mutable state.  The transitive core
+         is [Effects.race_witnesses]: the effect pass records every raw-
+         global access with its call chain, refuses to propagate through a
+         lock-disciplined binding (a body taking [Mutex.lock], or
+         [@lint.allow "R001"]), and this check emits the unsuppressed
+         witnesses of every task that escapes to another domain.  Wrapped
+         state (Atomic, Mutex, Domain.DLS, Lazy, Interner.Cache) never
+         classifies as raw.
    R002  inconsistent mutex acquisition order: [Mutex.lock b] while [a] is
          statically held, when somewhere else [a] is locked while [b] is
          held (deadlock by lock-order inversion), including locks taken by
@@ -23,8 +27,16 @@
          [Atomic.fetch_and_add]/[Atomic.incr] or a [compare_and_set] retry
          loop.  Only the syntactically nested shape is matched: a get
          let-bound earlier (the save/restore idiom) is not a hit.
+   N002  a parallel fan-out combining float work without [Par.sum_list]:
+         either the escaping task accumulates into shared state
+         ([t := !t +. x] — racy and order-varying; witness list
+         [Effects.float_accumulations], which propagates even through lock
+         discipline because a mutex serializes the updates without fixing
+         their order), or the fan-out host folds float results with a bare
+         [List.fold_left]/[Array.fold_left] whose grouping the scheduler
+         picks.
 
-   All three honor [@lint.allow "R00x"] attribute suppression at the site
+   All checks honor [@lint.allow "ID"] attribute suppression at the site
    the finding anchors to, plus allow-file entries downstream. *)
 
 open Parsetree
@@ -43,7 +55,7 @@ let par_entries =
 
 let par_entry_of_path path =
   List.find_map
-    (fun (suffix, name) -> if Checks.has_suffix ~suffix path then Some name else None)
+    (fun (suffix, name) -> if Effects.has_suffix ~suffix path then Some name else None)
     par_entries
 
 (* Symbolic identity of a lock/atomic expression: dotted ident or field
@@ -62,83 +74,13 @@ let rec sym (e : expression) =
   | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> sym e
   | _ -> None
 
-(* All variable names bound by patterns anywhere inside [e] (params, lets,
-   match arms).  Over-approximate on purpose: treating a sibling-branch
-   binder as bound only ever silences a finding, never invents one. *)
-let bound_vars (e : expression) =
-  let bound = Hashtbl.create 16 in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      pat =
-        (fun it p ->
-          (match p.ppat_desc with
-          | Ppat_var v -> Hashtbl.replace bound v.txt ()
-          | _ -> ());
-          Ast_iterator.default_iterator.pat it p);
-    }
-  in
-  it.expr it e;
-  bound
-
-let contains_mutex_lock (e : expression) =
-  let found = ref false in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun it e ->
-          (match e.pexp_desc with
-          | Pexp_ident lid
-            when Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] (Longident.flatten lid.txt)
-            ->
-              found := true
-          | _ -> ());
-          if not !found then Ast_iterator.default_iterator.expr it e);
-    }
-  in
-  it.expr it e;
-  !found
-
 (* ---------------------------------------------------------------- R001 -- *)
 
 type r001_ctx = {
   graph : Callgraph.t;
-  fields : (string, (string, unit) Hashtbl.t) Hashtbl.t;
-      (* unit path -> mutable field names declared in that unit.  Kept
-         per-unit on purpose: classifying a record literal by a field name
-         that is only [mutable] in some *other* unit's unrelated type would
-         invent findings (observed with an immutable stats record sharing
-         field names with a mutable one elsewhere). *)
-  raw_memo : (string * string, string option) Hashtbl.t;
+  eff : Effects.t;
   findings : Finding.t list ref;
 }
-
-let fields_of ctx (u : Callgraph.unit_info) =
-  match Hashtbl.find_opt ctx.fields u.path with
-  | Some t -> t
-  | None ->
-      let t = Checks.mutable_field_names u.structure in
-      Hashtbl.replace ctx.fields u.path t;
-      t
-
-(* Is this graph node raw module-toplevel mutable state?  Returns the
-   allocator kind ("ref", "Hashtbl.create", ...).  Deferred allocations
-   (functions) and safe wrappers classify as [None] inside [d001_hits]. *)
-let raw_global ctx (n : Callgraph.node) =
-  let k = Callgraph.key n in
-  match Hashtbl.find_opt ctx.raw_memo k with
-  | Some r -> r
-  | None ->
-      let r =
-        if allow "R001" n.attrs then None
-        else
-          match Checks.d001_hits (fields_of ctx n.u) [] n.expr with
-          | [] -> None
-          | (_, what) :: _ -> Some what
-      in
-      Hashtbl.replace ctx.raw_memo k r;
-      r
 
 let r001_capture_message entry name kind =
   Printf.sprintf
@@ -164,83 +106,32 @@ let r001_setfield_message entry field =
 let emit ctx ~id ~message loc =
   ctx.findings := Finding.of_location ~id ~message loc :: !(ctx.findings)
 
-(* Transitive scan of a named function that escapes to another domain: flag
-   references to raw toplevel state in any unit, follow calls.  [visited] is
-   global — one finding per racy global reference site is enough no matter
-   how many fan-out sites reach it. *)
-let rec scan_escaping_node ctx ~visited ~entry ~trail (n : Callgraph.node) =
-  let k = Callgraph.key n in
-  if not (Hashtbl.mem visited k) then begin
-    Hashtbl.replace visited k ();
-    if (not (allow "R001" n.attrs)) && not (contains_mutex_lock n.expr) then begin
-      let bound = bound_vars n.expr in
-      let stack = ref [ Suppress.allow_ids n.attrs ] in
-      let active id = List.exists (List.mem id) !stack in
-      let it =
-        {
-          Ast_iterator.default_iterator with
-          expr =
-            (fun it e ->
-              stack := Suppress.allow_ids e.pexp_attributes :: !stack;
-              (match e.pexp_desc with
-              | Pexp_ident lid ->
-                  let path = Longident.flatten lid.txt in
-                  let shadowed =
-                    match path with [ x ] -> Hashtbl.mem bound x | _ -> false
-                  in
-                  if not shadowed then
-                    List.iter
-                      (fun (tgt : Callgraph.node) ->
-                        match raw_global ctx tgt with
-                        | Some kind ->
-                            if not (active "R001") then
-                              emit ctx ~id:"R001"
-                                ~message:
-                                  (r001_global_message entry tgt.name kind tgt.u.path
-                                     (trail @ [ n.name ]))
-                                e.pexp_loc
-                        | None ->
-                            scan_escaping_node ctx ~visited ~entry
-                              ~trail:(trail @ [ n.name ]) tgt)
-                      (Callgraph.resolve ctx.graph n.u path)
-              | _ -> ());
-              Ast_iterator.default_iterator.expr it e;
-              stack := List.tl !stack)
-        }
-      in
-      it.expr it n.expr
-    end
-  end
+let witness_key (w : Effects.race_witness) =
+  let p = w.w_loc.Location.loc_start in
+  (p.Lexing.pos_fname, p.Lexing.pos_lnum, p.Lexing.pos_cnum, w.w_global)
 
-(* Raw mutable locals let-bound anywhere inside a node body, name -> kind.
-   Scope is deliberately ignored: a name in this table that a closure uses
-   without binding it itself must come from an enclosing scope, and the only
-   enclosing definition the analysis knows of is the raw one.  (A closure
-   shadowed by an enclosing *parameter* of the same name can false-positive;
-   none occur here, and the attribute suppression is the escape hatch.) *)
-let raw_locals_of mutable_fields (e : expression) =
-  let locals = Hashtbl.create 8 in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      value_binding =
-        (fun it (vb : value_binding) ->
-          (match vb.pvb_pat.ppat_desc with
-          | Ppat_var v -> (
-              match Checks.d001_hits mutable_fields [] vb.pvb_expr with
-              | [] -> ()
-              | (_, what) :: _ -> Hashtbl.replace locals v.txt what)
-          | _ -> ());
-          Ast_iterator.default_iterator.value_binding it vb);
-    }
-  in
-  it.expr it e;
-  locals
+(* A named function that escapes to another domain: its summary already
+   carries every raw-global access it can transitively reach, each with the
+   call chain from the task down to the access.  [visited] is global — one
+   finding per racy global reference site is enough no matter how many
+   fan-out sites reach it. *)
+let emit_escaping_witnesses ctx ~visited ~entry (tgt : Callgraph.node) =
+  List.iter
+    (fun (w : Effects.race_witness) ->
+      let k = witness_key w in
+      if not (Hashtbl.mem visited k) then begin
+        Hashtbl.replace visited k ();
+        if not w.Effects.w_suppressed then
+          emit ctx ~id:"R001"
+            ~message:(r001_global_message entry w.w_global w.w_kind w.w_path w.w_via)
+            w.w_loc
+      end)
+    (Effects.race_witnesses ctx.eff tgt)
 
 (* Scan a literal closure passed to a fan-out point: the capture checks plus
-   the transitive follow-up for every helper the closure calls. *)
+   the witness query for every helper the closure calls. *)
 let scan_closure ctx ~visited ~entry ~locals ~host (c : expression) =
-  let bound = bound_vars c in
+  let bound = Effects.bound_vars c in
   let stack = ref [] in
   let active id = List.exists (List.mem id) !stack in
   let it =
@@ -262,13 +153,13 @@ let scan_closure ctx ~visited ~entry ~locals ~host (c : expression) =
               | _ ->
                   List.iter
                     (fun (tgt : Callgraph.node) ->
-                      match raw_global ctx tgt with
+                      match Effects.raw_global ctx.eff tgt with
                       | Some kind ->
                           if not (active "R001") then
                             emit ctx ~id:"R001"
                               ~message:(r001_global_message entry tgt.name kind tgt.u.path [])
                               e.pexp_loc
-                      | None -> scan_escaping_node ctx ~visited ~entry ~trail:[] tgt)
+                      | None -> emit_escaping_witnesses ctx ~visited ~entry tgt)
                     (Callgraph.resolve ctx.graph host path))
           | Pexp_setfield (base, flid, _) -> (
               (* Any [x.f <- e] is a mutable-field write by construction; the
@@ -312,9 +203,58 @@ let rec head_ident (e : expression) =
   | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> head_ident e
   | _ -> None
 
-(* Walk one node's body looking for fan-out calls. *)
-let check_r001_node ctx ~visited (n : Callgraph.node) =
-  let locals = raw_locals_of (fields_of ctx n.u) n.expr in
+(* ---------------------------------------------------------------- N002 -- *)
+
+let n002_acc_message entry what trail =
+  let via =
+    match trail with [] -> "" | t -> Printf.sprintf " via %s" (String.concat " -> " t)
+  in
+  Printf.sprintf
+    "parallel task passed to %s performs %s%s: the accumulation order varies \
+     across domains, so the sum is not reproducible; return per-task results \
+     and combine with Par.sum_list"
+    entry what via
+
+let n002_fold_message what =
+  Printf.sprintf
+    "%s next to a parallel fan-out: float addition is not associative and the \
+     fold order is a scheduling accident away from changing; combine the \
+     fan-out's results with Par.sum_list (fixed sequential reduction)"
+    what
+
+let acc_key (a : Effects.acc_witness) =
+  let p = a.a_loc.Location.loc_start in
+  (p.Lexing.pos_fname, p.Lexing.pos_lnum, p.Lexing.pos_cnum, "")
+
+let emit_escaping_accs ctx ~visited ~entry (tgt : Callgraph.node) =
+  List.iter
+    (fun (a : Effects.acc_witness) ->
+      let k = acc_key a in
+      if not (Hashtbl.mem visited k) then begin
+        Hashtbl.replace visited k ();
+        if not a.Effects.a_suppressed then
+          emit ctx ~id:"N002" ~message:(n002_acc_message entry a.a_what a.a_via) a.a_loc
+      end)
+    (Effects.float_accumulations ctx.eff tgt)
+
+(* Float accumulation inside a literal task closure: shared targets only —
+   names the closure itself binds are per-task. *)
+let scan_closure_accs ctx ~entry (c : expression) =
+  let bound = Effects.bound_vars c in
+  List.iter
+    (fun (loc, what, suppressed) ->
+      if not suppressed then
+        emit ctx ~id:"N002" ~message:(n002_acc_message entry what []) loc)
+    (Effects.float_acc_sites ~exempt:(Hashtbl.mem bound) c)
+
+(* ------------------------------------------- fan-out site walk (R001+N002) -- *)
+
+(* Walk one node's body looking for fan-out calls; each task found feeds
+   both the race check and the accumulation half of N002.  Afterwards, the
+   fold half: a binding that fans out, folds floats, and never references
+   the sanctioned reduction. *)
+let check_fanout_node ctx ~visited ~acc_visited (n : Callgraph.node) =
+  let locals = Effects.raw_locals ctx.eff n in
   let stack = ref [ Suppress.allow_ids n.attrs ] in
   let active id = List.exists (List.mem id) !stack in
   let it =
@@ -329,26 +269,41 @@ let check_r001_node ctx ~visited (n : Callgraph.node) =
                 par_entry_of_path
                   (Callgraph.expand ctx.graph n.u (Longident.flatten lid.txt))
               with
-              | Some entry when not (active "R001") -> (
+              | Some entry -> (
                   match task_argument args with
                   | Some task when is_closure task ->
-                      scan_closure ctx ~visited ~entry ~locals ~host:n.u task
+                      if not (active "R001") then
+                        scan_closure ctx ~visited ~entry ~locals ~host:n.u task;
+                      if not (active "N002") then scan_closure_accs ctx ~entry task
                   | Some task -> (
                       match head_ident task with
                       | Some path ->
                           List.iter
                             (fun (tgt : Callgraph.node) ->
-                              scan_escaping_node ctx ~visited ~entry ~trail:[] tgt)
+                              if not (active "R001") then
+                                emit_escaping_witnesses ctx ~visited ~entry tgt;
+                              if not (active "N002") then
+                                emit_escaping_accs ctx ~visited:acc_visited ~entry tgt)
                             (Callgraph.resolve ctx.graph n.u path)
                       | None -> ())
                   | None -> ())
-              | _ -> ())
+              | None -> ())
           | _ -> ());
           Ast_iterator.default_iterator.expr it e;
           stack := List.tl !stack);
     }
   in
-  it.expr it n.expr
+  it.expr it n.expr;
+  if
+    Effects.has_par_fanout ctx.eff n
+    && (not (Effects.uses_sum_list ctx.eff n))
+    && not (allow "N002" n.attrs)
+  then
+    List.iter
+      (fun (s : Effects.site) ->
+        if not s.Effects.s_suppressed then
+          emit ctx ~id:"N002" ~message:(n002_fold_message s.s_what) s.s_loc)
+      (Effects.float_folds ctx.eff n)
 
 (* ---------------------------------------------------------------- R002 -- *)
 
@@ -364,7 +319,7 @@ let direct_locks (n : Callgraph.node) =
         (fun it e ->
           (match e.pexp_desc with
           | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
-            when Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] (Longident.flatten lid.txt)
+            when Effects.has_suffix ~suffix:[ "Mutex"; "lock" ] (Longident.flatten lid.txt)
             -> (
               match task_argument args with
               | Some m -> ( match sym m with Some s -> acc := s :: !acc | None -> ())
@@ -440,7 +395,7 @@ let check_r002 graph =
                   held := saved
               | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) -> (
                   let path = Longident.flatten lid.txt in
-                  (if Checks.has_suffix ~suffix:[ "Mutex"; "lock" ] path then
+                  (if Effects.has_suffix ~suffix:[ "Mutex"; "lock" ] path then
                      match Option.bind (task_argument args) sym with
                      | Some s ->
                          List.iter
@@ -450,7 +405,7 @@ let check_r002 graph =
                            !held;
                          held := !held @ [ s ]
                      | None -> ()
-                   else if Checks.has_suffix ~suffix:[ "Mutex"; "unlock" ] path then
+                   else if Effects.has_suffix ~suffix:[ "Mutex"; "unlock" ] path then
                      match Option.bind (task_argument args) sym with
                      | Some s -> held := List.filter (fun h -> h <> s) !held
                      | None -> ()
@@ -528,7 +483,7 @@ let contains_get_of (target : string) (e : expression) =
         (fun it e ->
           (match e.pexp_desc with
           | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
-            when Checks.has_suffix ~suffix:[ "Atomic"; "get" ] (Longident.flatten lid.txt)
+            when Effects.has_suffix ~suffix:[ "Atomic"; "get" ] (Longident.flatten lid.txt)
             -> (
               match Option.bind (task_argument args) sym with
               | Some s when s = target -> found := true
@@ -552,7 +507,7 @@ let check_r003 structure =
           stack := Suppress.allow_ids e.pexp_attributes :: !stack;
           (match e.pexp_desc with
           | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
-            when Checks.has_suffix ~suffix:[ "Atomic"; "set" ] (Longident.flatten lid.txt)
+            when Effects.has_suffix ~suffix:[ "Atomic"; "set" ] (Longident.flatten lid.txt)
             -> (
               match args with
               | (Asttypes.Nolabel, target) :: (Asttypes.Nolabel, value) :: _ -> (
@@ -580,12 +535,11 @@ let check_r003 structure =
 
 (* ------------------------------------------------------------- driver -- *)
 
-let check graph =
-  let ctx =
-    { graph; fields = Hashtbl.create 16; raw_memo = Hashtbl.create 64; findings = ref [] }
-  in
+let check graph eff =
+  let ctx = { graph; eff; findings = ref [] } in
   let visited = Hashtbl.create 64 in
-  List.iter (check_r001_node ctx ~visited) (Callgraph.nodes graph);
+  let acc_visited = Hashtbl.create 16 in
+  List.iter (check_fanout_node ctx ~visited ~acc_visited) (Callgraph.nodes graph);
   let r002 = check_r002 graph in
   let r003 =
     List.concat_map

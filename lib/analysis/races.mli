@@ -1,23 +1,30 @@
-(** The R-series domain-race checks, run over the whole-program call graph:
+(** The R-series domain-race checks and N002, run over the whole-program
+    call graph and the {!Effects} summaries computed on it:
 
     - [R001] mutable state reachable from a parallel task: a closure or
       named function passed to [Par.map]/[Par.map_list]/[Par.iter]/
       [Domain.spawn] that captures a raw mutable local, writes a mutable
-      record field of a captured value, or (transitively, across units)
-      references raw module-toplevel mutable state.  Atomic/Mutex/
-      Domain.DLS/Lazy-wrapped state never classifies as raw; a function
-      whose body takes a [Mutex.lock] is assumed lock-disciplined and
-      skipped.
+      record field of a captured value, or (transitively, across units —
+      via [Effects.race_witnesses]) references raw module-toplevel mutable
+      state.  Atomic/Mutex/Domain.DLS/Lazy-wrapped state never classifies
+      as raw; a lock-disciplined function (body takes a [Mutex.lock])
+      contributes no witnesses and blocks their propagation.
     - [R002] inconsistent mutex acquisition order, including locks taken by
       callees resolved through the graph; re-locking the same mutex symbol
       is a self-deadlock.
     - [R003] non-atomic read-modify-write:
       [Atomic.set x (... Atomic.get x ...)].
+    - [N002] parallel float reduction without [Par.sum_list]: an escaping
+      task accumulating floats into shared state
+      ([Effects.float_accumulations] — propagates through lock discipline,
+      since a mutex serializes updates without fixing their order), or a
+      fan-out host folding float results with a bare
+      [List.fold_left]/[Array.fold_left].
 
     Semantics, worked examples and the soundness/incompleteness trade-offs
-    are documented in DESIGN.md §5f. *)
+    are documented in DESIGN.md §5f and §5h. *)
 
-(** Run R001, R002 and R003 over every unit of the graph.  Attribute
+(** Run R001, R002, R003 and N002 over every unit of the graph.  Attribute
     suppressions ([\[@lint.allow "R001"\]] etc.) are applied; allow-file
     suppression is the caller's job. *)
-val check : Callgraph.t -> Finding.t list
+val check : Callgraph.t -> Effects.t -> Finding.t list

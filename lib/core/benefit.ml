@@ -217,13 +217,21 @@ let sub_configurations (config : Candidate.t list) =
         union i j
     done
   done;
+  (* Emit groups in first-member order: the previous [Hashtbl.fold] let
+     hash iteration order pick the fan-out's work-list order, so the same
+     configuration could partition into a differently-ordered list across
+     runs (lint N001). *)
   let groups = Hashtbl.create 8 in
+  let order = ref [] in
   Array.iteri
     (fun i c ->
       let r = find i in
-      Hashtbl.replace groups r (c :: (Option.value ~default:[] (Hashtbl.find_opt groups r))))
+      (match Hashtbl.find_opt groups r with
+      | None -> order := r :: !order
+      | Some _ -> ());
+      Hashtbl.replace groups r (c :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
     arr;
-  Hashtbl.fold (fun _ g acc -> g :: acc) groups []
+  List.rev_map (fun r -> Hashtbl.find groups r) !order
 
 (* Fingerprint of a sub-configuration: the sorted array of its members'
    interned logical ids.  Equal configurations (up to order and index names)
@@ -415,15 +423,15 @@ let sub_config_delta t (sub : Candidate.t list) =
     0.0 stmts costs
 
 (* The paper's Benefit(x1..xn; W).  Independent sub-configurations are
-   evaluated concurrently; the deltas are summed in list order. *)
+   evaluated concurrently; [Par.sum_list] combines the deltas with a fixed
+   sequential fold, so the sum never depends on scheduling order. *)
 let benefit t (config : Candidate.t list) =
   match config with
   | [] -> 0.0
   | _ ->
       Catalog.warm_stats t.catalog;
       let subs = sub_configurations config in
-      let deltas = Par.map_list ~domains:t.domains (sub_config_delta t) subs in
-      let delta = List.fold_left ( +. ) 0.0 deltas in
+      let delta = Par.sum_list ~domains:t.domains (sub_config_delta t) subs in
       delta -. maintenance_charge t config
 
 (* Individual benefit of a single candidate, memoized through the

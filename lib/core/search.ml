@@ -297,10 +297,10 @@ let top_down ?(variant = Full) ev set ~budget =
             let delta_b =
               match variant with
               | Lite ->
+                  (* Already inside the fan-out's task: domains:1 keeps the
+                     children sum a plain (deterministic) sequential fold. *)
                   Benefit.individual_benefit ev g
-                  -. List.fold_left
-                       (fun acc c -> acc +. Benefit.individual_benefit ev c)
-                       0.0 children
+                  -. Par.sum_list ~domains:1 (Benefit.individual_benefit ev) children
               | Full ->
                   let rest =
                     List.filter (fun (x : Candidate.t) -> x.id <> g.id) current

@@ -264,9 +264,10 @@ let plan_binding env (info : Rewriter.binding_info) =
   in
   { Plan.info; plan; est_cost; est_docs }
 
-let insert_cost catalog table doc =
-  let tstats = Catalog.stats catalog table in
-  ignore tstats;
+(* Pure in the document: page-in plus parse CPU.  (An earlier version
+   pulled [Catalog.stats] here and ignored it — a shared-state read the
+   E002 effect check rightly flagged on the batched what-if path.) *)
+let insert_cost doc =
   let bytes = float_of_int (Xia_xml.Types.byte_size doc) in
   let pages = Float.max 1.0 (bytes /. float_of_int C.page_size) in
   (pages *. C.sequential_page_cost)
@@ -296,7 +297,7 @@ let affected_docs_of_bindings = function
 (* Plan one statement against prebuilt table environments ([env_of] must
    cover every table the statement touches).  Shared by the per-statement
    and batched entry points — counters are incremented by the callers. *)
-let plan_statement ~env_of catalog (stmt : Ast.statement) =
+let plan_statement ~env_of (stmt : Ast.statement) =
   let bindings = Rewriter.bindings_of_statement stmt in
   let planned =
     List.map
@@ -308,8 +309,8 @@ let plan_statement ~env_of catalog (stmt : Ast.statement) =
   match stmt with
   | Ast.Select _ ->
       { Plan.statement = stmt; bindings = planned; total_cost = locate_cost; affected_docs = 0.0 }
-  | Ast.Insert { table; document } ->
-      let cost = insert_cost catalog table document in
+  | Ast.Insert { table = _; document } ->
+      let cost = insert_cost document in
       { Plan.statement = stmt; bindings = planned; total_cost = cost; affected_docs = 1.0 }
   | Ast.Delete { table; _ } ->
       let tstats = (env_of table).tstats in
@@ -324,7 +325,7 @@ let plan_statement ~env_of catalog (stmt : Ast.statement) =
 
 let do_optimize ?(mode = Evaluate) ?virtual_config catalog (stmt : Ast.statement) =
   Atomic.incr counters.optimize_calls;
-  plan_statement catalog stmt
+  plan_statement stmt
     ~env_of:(fun table -> table_env ?virtual_config catalog mode table)
 
 let optimize ?mode ?virtual_config catalog stmt =
@@ -373,7 +374,7 @@ let optimize_batch ?(mode = Evaluate) ?(domains = 1) ~virtual_config catalog
         List.map (fun t -> (t, table_env ~virtual_config catalog mode t)) tables
       in
       let env_of table = List.assoc table envs in
-      Par.map ~domains (plan_statement ~env_of catalog) stmts
+      Par.map ~domains (plan_statement ~env_of) stmts
     in
     if not (Xia_obs.Obs.on ()) then run ()
     else

@@ -194,3 +194,11 @@ let map ~domains f arr =
   end
 
 let map_list ~domains f l = Array.to_list (map ~domains f (Array.of_list l))
+
+(* The sanctioned deterministic parallel float reduction (what the N002
+   lint points at): per-item results come from [map] — positionally stable
+   by construction — and the combine is a fixed left-to-right sequential
+   fold on the calling domain, so the non-associativity of float addition
+   never meets scheduling order. *)
+let sum_list ~domains f l =
+  Array.fold_left ( +. ) 0.0 (map ~domains f (Array.of_list l))

@@ -19,3 +19,9 @@ val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** List version of {!map}; same determinism and exception contract. *)
 val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [sum_list ~domains f l] computes [f] over every element in parallel and
+    sums the results with a fixed left-to-right sequential fold: bit-for-bit
+    reproducible for any [domains] value.  This is the sanctioned
+    deterministic parallel float reduction (lint N002). *)
+val sum_list : domains:int -> ('a -> float) -> 'a list -> float

@@ -110,7 +110,9 @@ let iter f t = Hashtbl.iter f t.docs
 
 let fold f t init = Hashtbl.fold f t.docs init
 
-let doc_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.docs []
+(* Sorted: hash iteration order must not leak into a result the advisor
+   may return or cache (lint N001). *)
+let doc_ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.docs [])
 
 let avg_doc_bytes t =
   let n = doc_count t in

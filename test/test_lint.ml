@@ -1,9 +1,11 @@
 (* The xia_lint static analyzer (lib/analysis): every check ID gets a
    positive hit, a negative non-hit and a suppression path; the
-   whole-program checks (D003, R-series) additionally get two-unit
-   temp-dir projects proving the cross-module cases the old per-file
-   analysis could not see; plus the self-check that the repository's own
-   lib/ is lint-clean under the checked-in allow file. *)
+   whole-program checks (D003, the N/E-series, the R-series) additionally
+   get two-unit temp-dir projects proving the cross-module cases the old
+   per-file analysis could not see; the interprocedural effect pass gets a
+   golden summary dump and cross-unit propagation cases; plus the
+   self-check that the repository's own lib/ is lint-clean under the
+   checked-in allow file. *)
 
 module Lint = Xia_analysis.Lint
 module Checks = Xia_analysis.Checks
@@ -584,13 +586,29 @@ let json_report_tests =
   [
     tc "schema version and check catalog header" (fun () ->
         let s = Lint.report_to_json Lint.empty_report in
-        Alcotest.(check bool) "version" true (contains s "\"schema_version\": 2");
+        Alcotest.(check bool) "version" true (contains s "\"schema_version\": 3");
         Alcotest.(check bool) "catalog has D001" true (contains s "{\"id\": \"D001\"");
         Alcotest.(check bool) "catalog has R003" true (contains s "{\"id\": \"R003\"");
+        Alcotest.(check bool) "catalog has E001" true (contains s "{\"id\": \"E001\"");
+        Alcotest.(check bool) "catalog has E002" true (contains s "{\"id\": \"E002\"");
+        Alcotest.(check bool) "catalog has N001" true (contains s "{\"id\": \"N001\"");
+        Alcotest.(check bool) "catalog has N002" true (contains s "{\"id\": \"N002\"");
         Alcotest.(check bool) "empty findings" true (contains s "\"findings\": []");
         Alcotest.(check bool)
           "empty suppression block" true
-          (contains s "\"suppressed\": {\"total\": 0, \"by_id\": {}}"));
+          (contains s "\"suppressed\": {\"total\": 0, \"by_id\": {}}");
+        Alcotest.(check bool) "empty errors" true (contains s "\"errors\": []"));
+    tc "parse errors are part of the envelope" (fun () ->
+        let r =
+          {
+            Lint.findings = [];
+            suppressed = [];
+            errors = [ { Lint.path = "x.ml"; message = "boom" } ];
+          }
+        in
+        Alcotest.(check bool)
+          "one compact error object" true
+          (contains (Lint.report_to_json r) "{\"path\":\"x.ml\",\"message\":\"boom\"}"));
     tc "findings are emitted sorted regardless of input order" (fun () ->
         let r =
           {
@@ -632,6 +650,205 @@ let json_report_tests =
         Alcotest.(check bool) "none" true (Checks.find_check "Z999" = None));
   ]
 
+(* ---------------------------------------------------------------- N001 -- *)
+
+let n001_tests =
+  [
+    tc "hashtbl fold building a list in library code" (fun () ->
+        let fs =
+          findings ~filename:"lib/storage/store.ml"
+            "let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t []\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the fold"
+          [ (1, "N001") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "prescribes the sort" true
+          (contains (List.hd fs).Finding.message "List.sort"));
+    tc "canonicalizing sort in the same binding is the fix" (fun () ->
+        check_ids "clean" [] ~filename:"lib/storage/store.ml"
+          "let ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t [])\n");
+    tc "non-library code not hit" (fun () ->
+        check_ids "clean" [] ~filename:"bin/tool.ml"
+          "let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t []\n");
+    tc "attribute suppression" (fun () ->
+        check_ids "suppressed" [] ~filename:"lib/storage/store.ml"
+          "let ids t = (Hashtbl.fold (fun id _ acc -> id :: acc) t [] [@lint.allow \"N001\"])\n");
+  ]
+
+(* ---------------------------------------------------------------- N002 -- *)
+
+let n002_tests =
+  [
+    tc "float fold over a parallel map" (fun () ->
+        let fs =
+          findings ~filename:"lib/core/eval.ml"
+            "let total f items =\n\
+            \  List.fold_left ( +. ) 0.0 (Par.map_list ~domains:2 f items)\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the fold"
+          [ (2, "N002") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "prescribes the sanctioned helper" true
+          (contains (List.hd fs).Finding.message "Par.sum_list"));
+    tc "Par.sum_list is the sanctioned reduction" (fun () ->
+        check_ids "clean" [] ~filename:"lib/core/eval.ml"
+          "let total f items = Par.sum_list ~domains:2 f items\n");
+    tc "float fold with no fan-out nearby is fine" (fun () ->
+        check_ids "clean" [] ~filename:"lib/core/eval.ml"
+          "let total xs = List.fold_left ( +. ) 0.0 xs\n");
+    tc "float accumulation escaping into a parallel task" (fun () ->
+        let fs =
+          ids ~filename:"lib/core/eval.ml"
+            "type t = { mutable sum : float }\n\
+             let add t items = Par.iter (fun x -> t.sum <- t.sum +. x) items\n"
+        in
+        (* The same write is also a cross-domain race; both diagnoses stand. *)
+        Alcotest.(check bool) "N002 at the accumulation" true
+          (List.mem (2, "N002") fs);
+        Alcotest.(check bool) "R001 too" true (List.mem (2, "R001") fs));
+    tc "attribute suppression on the binding" (fun () ->
+        check_ids "suppressed" [] ~filename:"lib/core/eval.ml"
+          "let total f items =\n\
+          \  List.fold_left ( +. ) 0.0 (Par.map_list ~domains:2 f items)\n\
+          \  [@@lint.allow \"N002\"]\n");
+  ]
+
+(* ---------------------------------------------------------------- E001 -- *)
+
+let e001_tests =
+  [
+    tc "print in library code" (fun () ->
+        let fs =
+          findings ~filename:"lib/core/report.ml" "let show x = print_endline x\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the IO site"
+          [ (1, "E001") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "names the primitive" true
+          (contains (List.hd fs).Finding.message "print_endline"));
+    tc "lib/obs and the persistence module are sanctioned" (fun () ->
+        check_ids "obs clean" [] ~filename:"lib/obs/obs.ml"
+          "let show x = print_endline x\n";
+        check_ids "persist clean" [] ~filename:"lib/storage/persist.ml"
+          "let save x = print_endline x\n");
+    tc "bin/ and bench/ are outside the boundary" (fun () ->
+        check_ids "bin clean" [] ~filename:"bin/tool.ml"
+          "let show x = print_endline x\n";
+        check_ids "bench clean" [] ~filename:"bench/main.ml"
+          "let show x = print_endline x\n");
+    tc "attribute suppression" (fun () ->
+        check_ids "suppressed" [] ~filename:"lib/core/report.ml"
+          "let show x = (print_endline x [@lint.allow \"E001\"])\n");
+  ]
+
+(* ---------------------------------------------------------------- E002 -- *)
+
+let e002_tests =
+  [
+    tc "shared write reachable from optimize_batch" (fun () ->
+        let fs =
+          findings ~filename:"lib/optimizer/optimizer.ml"
+            "let bump tbl k = Hashtbl.replace tbl k ()\n\
+             let optimize_batch tbl stmts = List.map (fun s -> bump tbl s; s) stmts\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the write"
+          [ (1, "E002") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "names the batch root" true
+          (contains (List.hd fs).Finding.message "optimize_batch"));
+    tc "warm_stats is a sanctioned sink" (fun () ->
+        check_ids "clean" [] ~filename:"lib/optimizer/optimizer.ml"
+          "let warm_stats tbl = Hashtbl.replace tbl 0 ()\n\
+           let optimize_batch tbl stmts = warm_stats tbl; stmts\n");
+    tc "no finding without a batch root" (fun () ->
+        check_ids "clean" [] ~filename:"lib/optimizer/optimizer.ml"
+          "let bump tbl k = Hashtbl.replace tbl k ()\nlet run tbl s = bump tbl s\n");
+    tc "per-call local containers are exempt" (fun () ->
+        check_ids "clean" [] ~filename:"lib/optimizer/optimizer.ml"
+          "let optimize_batch stmts =\n\
+          \  let q = Queue.create () in\n\
+          \  List.iter (fun s -> Queue.add s q) stmts;\n\
+          \  Queue.length q\n");
+    tc "attribute suppression at the write site" (fun () ->
+        check_ids "suppressed" [] ~filename:"lib/optimizer/optimizer.ml"
+          "let bump tbl k = (Hashtbl.replace tbl k () [@lint.allow \"E002\"])\n\
+           let optimize_batch tbl stmts = List.map (fun s -> bump tbl s; s) stmts\n");
+  ]
+
+(* -------------------------------------------------- effect summaries ---- *)
+
+let effects_tests =
+  [
+    tc "golden per-binding summaries for a benefit-like slice" (fun () ->
+        with_temp_project
+          [
+            ( "slice.ml",
+              "let log s = print_endline s\n\
+               let choose tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n\
+               let total f xs = List.fold_left ( +. ) 0.0 (List.map f xs)\n\
+               let install c = Catalog.set_virtual_indexes c []\n\
+               let run c tbl = log \"go\"; install c; List.length (choose tbl)\n" );
+          ]
+          (fun dir ->
+            let dump, errs = Lint.effects_dump [ dir ] in
+            Alcotest.(check (list string))
+              "no errors" []
+              (List.map (fun (e : Lint.error) -> e.message) errs);
+            let p = Filename.concat dir "slice.ml" in
+            Alcotest.(check string) "exact summary dump"
+              (String.concat ""
+                 [
+                   p ^ " choose: local=OrderDependent total=OrderDependent\n";
+                   p ^ " install: local=WritesMutable total=WritesMutable\n";
+                   p ^ " log: local=PerformsIO total=PerformsIO\n";
+                   p ^ " run: local=Pure total=WritesMutable,PerformsIO,OrderDependent\n";
+                   p ^ " total: local=Pure total=Pure\n";
+                 ])
+              dump));
+    tc "dump is byte-deterministic" (fun () ->
+        with_temp_project
+          [
+            ("a.ml", "let f () = B.g ()\n");
+            ("b.ml", "let g () = print_string \"x\"\nlet h t = Hashtbl.clear t\n");
+          ]
+          (fun dir ->
+            let d1, _ = Lint.effects_dump [ dir ] in
+            let d2, _ = Lint.effects_dump [ dir ] in
+            Alcotest.(check string) "identical" d1 d2));
+    tc "IO propagates across units" (fun () ->
+        with_temp_project
+          [
+            ("sink.ml", "let log s = print_endline s\n");
+            ("driver.ml", "let run () = Sink.log \"x\"\n");
+          ]
+          (fun dir ->
+            let dump, _ = Lint.effects_dump [ dir ] in
+            Alcotest.(check bool)
+              "driver picks up the callee's IO" true
+              (contains dump "driver.ml run: local=Pure total=PerformsIO")));
+    tc "order-dependence propagates through cross-unit recursion" (fun () ->
+        with_temp_project
+          [
+            ("store.ml", "let ids tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n");
+            ( "top.ml",
+              "let rec pick tbl n = if n = 0 then Store.ids tbl else pick tbl (n - 1)\n"
+            );
+          ]
+          (fun dir ->
+            let dump, _ = Lint.effects_dump [ dir ] in
+            Alcotest.(check bool)
+              "fixpoint reaches through the recursive binding" true
+              (contains dump "top.ml pick: local=Pure total=OrderDependent")));
+  ]
+
 let suites =
   [
     ("lint.d001", d001_tests);
@@ -644,6 +861,11 @@ let suites =
     ("lint.r001", r001_tests);
     ("lint.r002", r002_tests);
     ("lint.r003", r003_tests);
+    ("lint.n001", n001_tests);
+    ("lint.n002", n002_tests);
+    ("lint.e001", e001_tests);
+    ("lint.e002", e002_tests);
+    ("lint.effects", effects_tests);
     ("lint.allow_file", allow_file_tests);
     ("lint.format", format_tests);
     ("lint.json_report", json_report_tests);

@@ -12,6 +12,13 @@
 # noisy, so it only fails above WALL_TOL x baseline (default 3.0; override
 # via the environment for stricter CI hosts).
 #
+# The baseline may also carry absolute micro-benchmark ceilings:
+#   micro <test> budget_ns <ceiling>
+# checked against the committed BENCH_micro.json's ns_per_run for that
+# test (no re-run — the committed exhibit must stay within budget when it
+# is regenerated).  Budgets are hand-set, so --write-baseline preserves
+# them verbatim.
+#
 #   dune build @bench-ratchet       via the build (sandboxed source copy)
 #   ./tools/bench_ratchet.sh        standalone from a checkout
 #
@@ -80,12 +87,19 @@ metrics_of() {
 fresh_metrics=$(metrics_of "$fresh")
 
 if [ "$mode" = write ]; then
+  budgets=""
+  if [ -f bench.baseline ]; then
+    budgets=$(grep '^micro ' bench.baseline || true)
+  fi
   {
     echo "# Advisor-bench ratchet baseline: per-exhibit optimizer call counts"
-    echo "# and wall-clock from the quick-scale run.  Checked by"
+    echo "# and wall-clock from the quick-scale run, plus hand-set absolute"
+    echo "# micro ceilings (\"micro <test> budget_ns <ceiling>\", checked"
+    echo "# against the committed BENCH_micro.json).  Checked by"
     echo "# tools/bench_ratchet.sh; regenerate (together with the committed"
     echo "# BENCH_advisor.json) via ./tools/bench_ratchet.sh --write-baseline"
     printf '%s\n' "$fresh_metrics"
+    [ -n "$budgets" ] && printf '%s\n' "$budgets"
   } >bench.baseline
   echo "bench-ratchet: wrote bench.baseline"
   exit 0
@@ -126,6 +140,33 @@ while read -r ex metric value; do
       ;;
   esac
 done <<<"$fresh_metrics"
+
+# Absolute micro ceilings against the committed BENCH_micro.json.
+if grep -q '^micro ' bench.baseline 2>/dev/null; then
+  if [ ! -f BENCH_micro.json ]; then
+    echo "bench-ratchet: bench.baseline has micro budgets but BENCH_micro.json is missing" >&2
+    fail=1
+  else
+    while read -r _ test metric ceiling; do
+      [ "$metric" = budget_ns ] || continue
+      actual=$(awk -v t="$test" '
+        match($0, /"name": "[^"]*"/) {
+          name = substr($0, RSTART + 9, RLENGTH - 10)
+          if (name == t && match($0, /"ns_per_run": [0-9.]+/)) {
+            v = substr($0, RSTART + 14, RLENGTH - 14)
+            print v
+          }
+        }' BENCH_micro.json)
+      if [ -z "$actual" ]; then
+        echo "bench-ratchet: micro test $test not in BENCH_micro.json — regenerate it (dune exec bench/main.exe -- micro)" >&2
+        fail=1
+      elif awk -v v="$actual" -v b="$ceiling" 'BEGIN { exit !(v > b) }'; then
+        echo "bench-ratchet: micro $test over budget: ${actual} ns/run, ceiling ${ceiling}" >&2
+        fail=1
+      fi
+    done < <(grep '^micro ' bench.baseline)
+  fi
+fi
 
 if [ "$fail" -ne 0 ]; then
   {

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Lint ratchet: per-check-ID finding counts must never regress.
+# Lint ratchet: per-check-ID finding counts must never regress, and
+# neither may the number of findings the allow file suppresses.
 #
-# Runs bin/xia_lint over lib/, bin/ and bench/ WITHOUT the allow file — the
-# ratchet tracks the raw debt the suppressions hide — and compares the
-# per-ID finding counts against the committed lint.baseline (one "ID count"
-# pair per line, '#' comments allowed).  A count above baseline fails; a
-# count below baseline passes but nags until the baseline is tightened.
+# Two xia_lint runs over lib/, bin/ and bench/:
+#   1. WITHOUT the allow file — the raw debt the suppressions hide.
+#      Baseline lines: "ID count".
+#   2. WITH the allow file — the per-ID suppression totals from the JSON
+#      report's "suppressed"."by_id" object.  Baseline lines:
+#      "allow ID count" (format v2; a baseline without any "allow" line
+#      is the v1 format and fails with a re-baseline hint).
+#
+# Either count rising above its baseline fails; a count below baseline
+# passes but nags until the baseline is tightened.
 #
 #   dune build @lint-ratchet        via the build (sandboxed source copy)
 #   ./tools/lint_ratchet.sh         standalone from a checkout
@@ -43,18 +49,36 @@ if [ "$status" -gt 1 ]; then
   exit "$status"
 fi
 
+suppressed_out=$(mktemp)
+trap 'rm -f "$out" "$suppressed_out"' EXIT
+status=0
+"$exe" --json --allow-file lint.allow lib bin bench >"$suppressed_out" || status=$?
+if [ "$status" -gt 1 ]; then
+  echo "lint-ratchet: xia_lint --allow-file failed (exit $status)" >&2
+  exit "$status"
+fi
+
 # Findings are one compact object per line ('"id":"D001"', no space); the
 # catalog header in the envelope uses '"id": "D001"' with a space, so this
 # pattern only counts findings.
 counts=$(grep -o '"id":"[A-Z0-9]*"' "$out" | sed 's/"id":"\([A-Z0-9]*\)"/\1/' \
   | sort | uniq -c | awk '{print $2, $1}' || true)
 
+# Per-ID suppression totals from the "suppressed"."by_id" object — one line
+# in the envelope, '"ID": n' pairs inside the braces.
+allow_counts=$(grep -o '"by_id": {[^}]*}' "$suppressed_out" \
+  | grep -o '"[A-Z0-9]*": [0-9]*' \
+  | sed 's/"\([A-Z0-9]*\)": \([0-9]*\)/allow \1 \2/' || true)
+
 if [ "$mode" = write ]; then
   {
-    echo "# xia_lint ratchet baseline: raw (unsuppressed) per-check-ID finding"
-    echo "# counts over lib/ bin/ bench/.  Checked by tools/lint_ratchet.sh;"
-    echo "# regenerate with ./tools/lint_ratchet.sh --write-baseline"
+    echo "# xia_lint ratchet baseline (format v2): raw (unsuppressed)"
+    echo "# per-check-ID finding counts over lib/ bin/ bench/ (\"ID count\"),"
+    echo "# plus per-ID allow-file suppression totals (\"allow ID count\")."
+    echo "# Checked by tools/lint_ratchet.sh; regenerate with"
+    echo "# ./tools/lint_ratchet.sh --write-baseline"
     printf '%s\n' "$counts"
+    [ -n "$allow_counts" ] && printf '%s\n' "$allow_counts"
   } >lint.baseline
   echo "lint-ratchet: wrote lint.baseline"
   exit 0
@@ -65,8 +89,17 @@ if [ ! -f lint.baseline ]; then
   exit 2
 fi
 
+if ! grep -q '^allow ' lint.baseline && [ -n "$allow_counts" ]; then
+  echo "lint-ratchet: lint.baseline is the v1 format (no 'allow ID count' lines); re-baseline with ./tools/lint_ratchet.sh --write-baseline" >&2
+  exit 2
+fi
+
 baseline_of() {
   awk -v id="$1" '$1 == id { print $2 }' lint.baseline
+}
+
+allow_baseline_of() {
+  awk -v id="$1" '$1 == "allow" && $2 == id { print $3 }' lint.baseline
 }
 
 fail=0
@@ -82,13 +115,31 @@ while read -r id n; do
   fi
 done <<<"$counts"
 
+while read -r _ id n; do
+  [ -z "$id" ] && continue
+  base=$(allow_baseline_of "$id")
+  base=${base:-0}
+  if [ "$n" -gt "$base" ]; then
+    echo "lint-ratchet: $id suppressions regressed: $n suppressed, baseline $base — fix the finding instead of widening lint.allow" >&2
+    fail=1
+  elif [ "$n" -lt "$base" ]; then
+    echo "lint-ratchet: $id suppressions improved: $n suppressed, baseline $base — tighten with ./tools/lint_ratchet.sh --write-baseline"
+  fi
+done <<<"$allow_counts"
+
 # IDs still in the baseline but gone from the report: debt fully paid.
 while read -r id base; do
-  case "$id" in '' | '#'*) continue ;; esac
+  case "$id" in '' | '#'* | allow) continue ;; esac
   if ! printf '%s\n' "$counts" | awk -v id="$id" '$1 == id { found = 1 } END { exit !found }'; then
     echo "lint-ratchet: $id fully paid down (baseline $base) — tighten with ./tools/lint_ratchet.sh --write-baseline"
   fi
 done <lint.baseline
+while read -r _ id base; do
+  [ -z "$id" ] && continue
+  if ! printf '%s\n' "$allow_counts" | awk -v id="$id" '$2 == id { found = 1 } END { exit !found }'; then
+    echo "lint-ratchet: $id suppressions fully paid down (baseline $base) — tighten with ./tools/lint_ratchet.sh --write-baseline"
+  fi
+done < <(grep '^allow ' lint.baseline || true)
 
 if [ "$fail" -ne 0 ]; then
   {
@@ -98,4 +149,4 @@ if [ "$fail" -ne 0 ]; then
   } >&2
   exit 1
 fi
-echo "lint-ratchet: OK (counts at or below baseline)"
+echo "lint-ratchet: OK (raw and suppression counts at or below baseline)"
