@@ -74,7 +74,7 @@ let algorithm_of_string = function
 (* ---------- commands ---------- *)
 
 let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
-    update_freq synthetic domains trace_file metrics_file verbose =
+    update_freq synthetic domains compress trace_file metrics_file verbose =
   (* Either observability flag switches the whole pipeline's spans and
      metrics on for this run. *)
   if trace_file <> None || metrics_file <> None then Xia_obs.Obs.set_enabled true;
@@ -88,8 +88,11 @@ let advise_cmd benchmark small data_dirs workload_file budget_mb algorithm beta
       let budget = int_of_float (budget_mb *. 1024.0 *. 1024.0) in
       let r, elapsed =
         Xia_obs.Trace.timed "cli.advise" (fun () ->
-            Advisor.advise ~beta ?domains catalog workload ~budget alg)
+            Advisor.advise ~beta ?domains ?compress catalog workload ~budget alg)
       in
+      if r.Advisor.summary.Xia_advisor.Workload_summary.compressed then
+        Format.printf "workload compressed: %a@."
+          Xia_advisor.Workload_summary.pp_info r.Advisor.summary;
       Format.printf "%a@." Advisor.pp_recommendation r;
       Format.printf
         "base cost %.0f -> new cost %.0f (estimated speedup %.2fx)@.advisor time %.2fs, optimizer calls %d@."
@@ -321,6 +324,17 @@ let domains_arg =
            machine's recommended domain count).  The recommendation is \
            identical for every value.")
 
+let compress_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", None); ("on", Some true); ("off", Some false) ]) None
+    & info [ "compress" ]
+        ~doc:
+          "Workload compression: $(b,on) clusters statements by candidate \
+           signature and advises the weighted representatives, $(b,off) \
+           advises every statement, $(b,auto) (default) compresses at 256+ \
+           statements.")
+
 let trace_arg =
   Arg.(
     value
@@ -356,7 +370,7 @@ let advise_term =
   Term.(
     const advise_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
     $ budget_arg $ algorithm_arg $ beta_arg $ updates_arg $ synthetic_arg
-    $ domains_arg $ trace_arg $ metrics_arg $ verbose_arg)
+    $ domains_arg $ compress_arg $ trace_arg $ metrics_arg $ verbose_arg)
 
 let explain_term =
   Term.(

@@ -49,6 +49,7 @@ type recommendation = {
   est_speedup : float;     (* base / new *)
   general_count : int;
   specific_count : int;
+  summary : Workload_summary.info;  (* what the search actually ran on *)
 }
 
 let indexes r = List.map (fun c -> c.Candidate.def) r.outcome.Search.config
@@ -75,22 +76,49 @@ let summarize ev algorithm (outcome : Search.outcome) =
     est_speedup = (if new_cost > 0.0 then base_cost /. new_cost else 1.0);
     general_count;
     specific_count = List.length outcome.Search.config - general_count;
+    summary = Workload_summary.info (Benefit.summary ev);
   }
 
-(* One-shot advise: builds candidates and an evaluator internally. *)
-let advise ?beta ?domains catalog workload ~budget algorithm =
+(* Workloads at or above this size are compressed by default ([?compress]
+   unset): below it, the clustering pass costs more bookkeeping than the
+   probes it saves; above it, repetition is the common case.  Explicit
+   [~compress:(Some _)] always wins. *)
+let compress_threshold = 256
+
+let resolve_compress compress workload =
+  match compress with
+  | Some b -> b
+  | None -> List.length workload >= compress_threshold
+
+let summarize_workload ~compress catalog workload =
+  if compress then
+    timed "workload compression" (fun () ->
+        Workload_summary.compress catalog workload)
+  else Workload_summary.raw workload
+
+(* One-shot advise: builds candidates and an evaluator internally.  The
+   candidate set is enumerated over the summary's REPRESENTATIVE workload —
+   affected-set indices must index the evaluator's statement array — which
+   yields the same candidate definitions as the full workload (clustered
+   statements share their signature, hence their enumerated patterns). *)
+let advise ?beta ?domains ?compress catalog workload ~budget algorithm =
   Xia_obs.Trace.with_span "advisor.advise"
     ~args:(fun () -> [ ("algorithm", algorithm_name algorithm) ])
     (fun () ->
+      let compress = resolve_compress compress workload in
+      let summary = summarize_workload ~compress catalog workload in
+      let search_workload = Workload_summary.workload summary in
       let set =
-        timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload)
+        timed "enumerate+generalize" (fun () ->
+            Enumeration.candidates catalog search_workload)
       in
       Log.info (fun m ->
           m "candidates: %d basic, %d total"
             (List.length (Candidate.basics set))
             (Candidate.cardinality set));
       let ev =
-        timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload)
+        timed "base cost evaluation" (fun () ->
+            Benefit.of_summary ?domains catalog summary)
       in
       let outcome =
         timed (algorithm_name algorithm) (fun () ->
@@ -103,17 +131,21 @@ let advise ?beta ?domains catalog workload ~budget algorithm =
    a long-running advisor session). *)
 type session = {
   catalog : Catalog.t;
-  workload : Workload.t;
+  workload : Workload.t;  (* the SOURCE workload (never the representatives) *)
   candidates : Candidate.set;
   evaluator : Benefit.t;
 }
 
-let create_session ?domains catalog workload =
+let create_session ?domains ?compress catalog workload =
+  let compress = resolve_compress compress workload in
+  let summary = summarize_workload ~compress catalog workload in
   let candidates =
-    timed "enumerate+generalize" (fun () -> Enumeration.candidates catalog workload)
+    timed "enumerate+generalize" (fun () ->
+        Enumeration.candidates catalog (Workload_summary.workload summary))
   in
   let evaluator =
-    timed "base cost evaluation" (fun () -> Benefit.create ?domains catalog workload)
+    timed "base cost evaluation" (fun () ->
+        Benefit.of_summary ?domains catalog summary)
   in
   { catalog; workload; candidates; evaluator }
 

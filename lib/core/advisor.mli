@@ -25,18 +25,27 @@ type recommendation = {
   est_speedup : float;
   general_count : int;
   specific_count : int;
+  summary : Workload_summary.info;
+      (** what the search ran on: statement/cluster counts and whether the
+          workload was compressed *)
 }
 
 (** Recommended index definitions. *)
 val indexes : recommendation -> Index_def.t list
 
+(** Workloads at or above this many statements are compressed when
+    [?compress] is left unset. *)
+val compress_threshold : int
+
 (** One-shot recommendation for a workload under a disk budget (bytes).
     [domains] bounds the parallel what-if fan-out (default
     [Par.default_domains ()]); the recommendation is identical for every
-    value. *)
+    value.  [compress] forces workload compression on or off; unset, it
+    turns on at {!compress_threshold} statements. *)
 val advise :
   ?beta:float ->
   ?domains:int ->
+  ?compress:bool ->
   Catalog.t ->
   Workload.t ->
   budget:int ->
@@ -47,12 +56,13 @@ val advise :
     across several budgets and algorithms. *)
 type session = {
   catalog : Catalog.t;
-  workload : Workload.t;
+  workload : Workload.t;  (** the source workload (never the representatives) *)
   candidates : Candidate.set;
   evaluator : Benefit.t;
 }
 
-val create_session : ?domains:int -> Catalog.t -> Workload.t -> session
+val create_session :
+  ?domains:int -> ?compress:bool -> Catalog.t -> Workload.t -> session
 
 val session_advise :
   ?beta:float -> session -> budget:int -> algorithm -> recommendation

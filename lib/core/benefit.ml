@@ -80,16 +80,30 @@ let shard_count = 16
 
 type t = {
   catalog : Catalog.t;
+  summary : Workload_summary.t;
   items : Workload.item array;
+      (* the summary's representative statements — for a raw summary,
+         exactly the workload *)
+  weights : float array;
+      (* per representative: the summed frequency of its cluster (for a raw
+         summary, the item frequency).  Every cost sum multiplies these, so
+         the raw and compressed paths share one code path. *)
   base_costs : float array;       (* per statement, no indexes *)
   base_affected : float array;    (* per statement, estimated documents modified *)
   shards : shard array;
   domains : int;                  (* parallelism for what-if fan-out *)
   evaluations : int Atomic.t;     (* optimizer calls made through this evaluator *)
   cache_hits : int Atomic.t;
+  pruned : int Atomic.t;          (* configuration evaluations skipped by bounds *)
   size_memo : (int, int) Xia_xpath.Interner.Cache.t;
       (* candidate id -> derived size in bytes; sound because an evaluator
          is always paired with one candidate set (ids are per-set) *)
+  aub_memo : (int, float) Xia_xpath.Interner.Cache.t;
+      (* candidate id -> atomic-benefit upper bound; same pairing assumption *)
+  floors_memo : float array option Atomic.t;
+      (* per-statement cost floors (see [floors]); same pairing assumption *)
+  used_memo : (int, unit) Hashtbl.t option Atomic.t;
+      (* memoized [used_in_plans] result; same pairing assumption *)
   useful_memo : (int, unit) Hashtbl.t option Atomic.t;
       (* memoized [useful_ids] result; same pairing assumption *)
 }
@@ -102,6 +116,7 @@ let m_cache_hits = lazy (Xia_obs.Metrics.counter "benefit.cache_hits")
 let m_cache_misses = lazy (Xia_obs.Metrics.counter "benefit.cache_misses")
 let m_shard_waits = lazy (Xia_obs.Metrics.counter "benefit.shard_waits")
 let m_evaluations = lazy (Xia_obs.Metrics.counter "benefit.evaluations")
+let m_pruned = lazy (Xia_obs.Metrics.counter "benefit.pruned_configs")
 
 (* Process-wide running total of sub-configuration cache hits, for the bench
    harness's perf trajectory (per-evaluator counters die with the evaluator). *)
@@ -110,9 +125,11 @@ let global_hits = Atomic.make 0
 let total_cache_hits () = Atomic.get global_hits
 
 let catalog t = t.catalog
+let summary t = t.summary
 let domains t = t.domains
 let evaluations t = Atomic.get t.evaluations
 let cache_hits t = Atomic.get t.cache_hits
+let pruned_count t = Atomic.get t.pruned
 
 let cached_sub_configs t =
   Array.fold_left
@@ -129,9 +146,13 @@ let dml_kind = function
   | Ast.Update _ -> Some Maintenance.Dml_update
   | Ast.Select _ -> None
 
-let create ?domains catalog (workload : Workload.t) =
+(* Build an evaluator over a workload summary: the per-statement arrays hold
+   the cluster REPRESENTATIVES, and [weights] their cluster frequencies, so
+   every downstream cost sum is weighted per cluster.  For a raw summary
+   (cluster = statement) this is exactly the historical per-item evaluator. *)
+let of_summary ?domains catalog summary =
   let domains = match domains with Some d -> max 1 d | None -> Par.default_domains () in
-  let items = Array.of_list workload in
+  let items = Array.of_list (Workload_summary.workload summary) in
   (* Force lazy statistics collection for every table up front: afterwards
      concurrent what-if calls only read the catalog. *)
   Catalog.warm_stats catalog;
@@ -142,7 +163,9 @@ let create ?domains catalog (workload : Workload.t) =
   in
   {
     catalog;
+    summary;
     items;
+    weights = Workload_summary.weights summary;
     base_costs = Array.map (fun p -> p.Plan.total_cost) base;
     base_affected = Array.map (fun p -> p.Plan.affected_docs) base;
     shards =
@@ -157,13 +180,26 @@ let create ?domains catalog (workload : Workload.t) =
     (* one batched invocation costed the whole base workload *)
     evaluations = Atomic.make (if Array.length items = 0 then 0 else 1);
     cache_hits = Atomic.make 0;
+    pruned = Atomic.make 0;
     size_memo = Xia_xpath.Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ();
+    aub_memo = Xia_xpath.Interner.Cache.create ~hash:Fun.id ~equal:Int.equal ();
+    floors_memo = Atomic.make None;
+    used_memo = Atomic.make None;
     useful_memo = Atomic.make None;
   }
+
+let create ?domains catalog (workload : Workload.t) =
+  of_summary ?domains catalog (Workload_summary.raw workload)
 
 let count_evaluations t n =
   ignore (Atomic.fetch_and_add t.evaluations n);
   if Xia_obs.Obs.on () then Xia_obs.Metrics.add (Lazy.force m_evaluations) n
+
+let count_pruned t n =
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add t.pruned n);
+    if Xia_obs.Obs.on () then Xia_obs.Metrics.add (Lazy.force m_pruned) n
+  end
 
 let count_hit t =
   Atomic.incr t.cache_hits;
@@ -173,7 +209,7 @@ let count_hit t =
 let base_workload_cost t =
   let total = ref 0.0 in
   Array.iteri
-    (fun i (item : Workload.item) -> total := !total +. (item.freq *. t.base_costs.(i)))
+    (fun i _ -> total := !total +. (t.weights.(i) *. t.base_costs.(i)))
     t.items;
   !total
 
@@ -193,7 +229,7 @@ let maintenance_charge t (config : Candidate.t list) =
                 let stats = Candidate.stats t.catalog c in
                 total :=
                   !total
-                  +. item.freq
+                  +. t.weights.(i)
                      *. Maintenance.cost stats kind ~docs_affected:t.base_affected.(i)
               end)
             config)
@@ -376,9 +412,7 @@ let workload_cost t (config : Candidate.t list) =
     let stmts = List.init (Array.length t.items) Fun.id in
     let costs = config_costs t ~defs (fingerprint config) stmts in
     let total = ref 0.0 in
-    List.iteri
-      (fun i cost -> total := !total +. (t.items.(i).Workload.freq *. cost))
-      costs;
+    List.iteri (fun i cost -> total := !total +. (t.weights.(i) *. cost)) costs;
     !total
   end
 
@@ -418,8 +452,7 @@ let sub_config_delta t (sub : Candidate.t list) =
   let costs = config_costs t ~defs (fingerprint sub) stmts in
   List.fold_left2
     (fun acc stmt_index cost_new ->
-      let item = t.items.(stmt_index) in
-      acc +. (item.freq *. (t.base_costs.(stmt_index) -. cost_new)))
+      acc +. (t.weights.(stmt_index) *. (t.base_costs.(stmt_index) -. cost_new)))
     0.0 stmts costs
 
 (* The paper's Benefit(x1..xn; W).  Independent sub-configurations are
@@ -448,6 +481,96 @@ let candidate_size t (c : Candidate.t) =
 let config_size t (config : Candidate.t list) =
   List.fold_left (fun acc c -> acc + candidate_size t c) 0 config
 
+(* Per-statement cost FLOORS: statement i's what-if cost under the
+   configuration of EVERY candidate that could possibly apply to it — the
+   candidates affecting i plus any candidate whose definition matches one of
+   i's indexable accesses (cross-coverage: an index can enter a plan of a
+   statement outside its affected set once installed alongside others, so
+   basics-of-i alone would NOT be a sound floor configuration).  Any real
+   configuration's applicable subset for i is contained in that set, the
+   planner's cost is monotone non-increasing in the applicable options, and
+   the doc-scan fallback is always available, so
+
+       floor_i <= cost_i(config) <= base_i   for every configuration.
+
+   Statements no candidate can touch keep their base cost as the floor.
+   Grouped by configuration fingerprint: one batched evaluation per distinct
+   group, routed through the sub-configuration cache (so a group whose
+   fingerprint a search later evaluates in full is already paid for).
+   Memoized per evaluator; computed from the search's main thread before any
+   fan-out, so the compute-once note on the memo field holds. *)
+let floors t (set : Candidate.set) =
+  match Atomic.get t.floors_memo with
+  | Some fl -> fl
+  | None ->
+      Xia_obs.Trace.with_span "benefit.floors"
+        ~args:(fun () ->
+          [ ("statements", string_of_int (Array.length t.items)) ])
+      @@ fun () ->
+      Catalog.warm_stats t.catalog;
+      let cands = Candidate.to_list set in
+      let fl = Array.copy t.base_costs in
+      let groups = Hashtbl.create 32 in
+      let order = ref [] in  (* fingerprints, reverse first-occurrence order *)
+      Array.iteri
+        (fun i (item : Workload.item) ->
+          let accesses = Rewriter.indexable_accesses item.statement in
+          let cfg =
+            List.filter
+              (fun (c : Candidate.t) ->
+                Int_set.mem i c.affected
+                || List.exists
+                     (fun a -> Optimizer.index_matches c.Candidate.def a)
+                     accesses)
+              cands
+          in
+          if cfg <> [] then begin
+            let key = fingerprint cfg in
+            match Hashtbl.find_opt groups key with
+            | Some (_, idxs) -> idxs := i :: !idxs
+            | None ->
+                order := key :: !order;
+                let defs =
+                  List.map (fun (c : Candidate.t) -> c.Candidate.def) cfg
+                in
+                Hashtbl.replace groups key (defs, ref [ i ])
+          end)
+        t.items;
+      List.iter
+        (fun key ->
+          let defs, idxs = Hashtbl.find groups key in
+          let stmts = List.rev !idxs in
+          let costs = config_costs t ~defs key stmts in
+          List.iter2 (fun i c -> fl.(i) <- c) stmts costs)
+        (List.rev !order);
+      Atomic.set t.floors_memo (Some fl);
+      fl
+
+(* Atomic-benefit upper bound of one candidate:
+
+       aub(c) = Σ_{i ∈ affected(c)} weight_i · (base_i − floor_i)
+
+   Every configuration containing c has per-statement costs >= floor_i, so
+   the cost-delta term of ANY evaluation of c — including its individual
+   benefit's — is dominated by aub(c); the maintenance charge only
+   subtracts.  Hence individual_benefit c <= aub(c) always.
+
+   Sharper: aub(c) = 0 means base_i = floor_i for every affected statement
+   (each term is weight·(base − floor) with weight >= 0 and base >= floor,
+   so a zero sum forces every term to zero).  The individual-benefit delta
+   then folds to exactly +0.0 — each term is either w ·. (x −. x) = +0.0 or
+   0.0 ·. nonneg = +0.0, and +0.0 +. +0.0 = +0.0 — so
+
+       individual_benefit c  =  0.0 -. maintenance_charge t [c]   (bitwise)
+
+   which the pruned search paths substitute without an optimizer call. *)
+let atomic_upper_bound t (set : Candidate.set) (c : Candidate.t) =
+  Xia_xpath.Interner.Cache.find_or_compute t.aub_memo c.Candidate.id (fun () ->
+      let fl = floors t set in
+      Int_set.fold
+        (fun i acc -> acc +. (t.weights.(i) *. (t.base_costs.(i) -. fl.(i))))
+        c.Candidate.affected 0.0)
+
 (* Candidates used by at least one optimizer plan when every basic candidate
    of a statement is installed together.  This captures indexes whose value
    only shows in combination (index ANDing): their individual benefit can be
@@ -466,7 +589,7 @@ let config_size t (config : Candidate.t list) =
    affecting them, so the union would let a foreign index into their plan —
    fall back to batches over their exact configuration, grouped by
    fingerprint. *)
-let used_in_plans t (set : Candidate.set) =
+let compute_used_in_plans t (set : Candidate.set) =
   Catalog.warm_stats t.catalog;
   let basics = Candidate.basics set in
   let all_defs = List.map (fun (c : Candidate.t) -> c.Candidate.def) basics in
@@ -528,22 +651,50 @@ let used_in_plans t (set : Candidate.set) =
   count_evaluations t !batches;
   used
 
+let used_in_plans t (set : Candidate.set) =
+  match Atomic.get t.used_memo with
+  | Some used -> used
+  | None ->
+      let used = compute_used_in_plans t set in
+      Atomic.set t.used_memo (Some used);
+      used
+
 (* Is this candidate worth keeping in a search space?  Positive individual
-   benefit, or used by some plan in combination. *)
-let useful_ids t set =
+   benefit, or used by some plan in combination.
+
+   Plan-used candidates are kept regardless of their probe result (the
+   disjunction short-circuits), so their probes are skipped outright — an
+   exact optimization, not a heuristic.  Under [prune], candidates with a
+   non-positive upper bound are skipped too: their individual benefit is at
+   most 0.0 -. maintenance_charge (never > 0), so only plan-usage could keep
+   them, and that was already checked.  Either way the result SET is
+   identical to probing everything; only the optimizer-call count drops. *)
+let useful_ids ?(prune = false) t set =
   match Atomic.get t.useful_memo with
   | Some ids -> ids
   | None ->
       let used = used_in_plans t set in
       let cands = Array.of_list (Candidate.to_list set) in
-      let indiv = Par.map ~domains:t.domains (individual_benefit t) cands in
       let ids = Hashtbl.create 64 in
+      let probe =
+        List.filter_map
+          (fun (c : Candidate.t) ->
+            if Hashtbl.mem used (Xia_index.Index_def.logical_id c.def) then begin
+              Hashtbl.replace ids c.Candidate.id ();
+              None
+            end
+            else if prune && atomic_upper_bound t set c <= 0.0 then begin
+              count_pruned t 1;
+              None
+            end
+            else Some c)
+          (Array.to_list cands)
+      in
+      let rest = Array.of_list probe in
+      let indiv = Par.map ~domains:t.domains (individual_benefit t) rest in
       Array.iteri
         (fun i (c : Candidate.t) ->
-          if
-            indiv.(i) > 0.0
-            || Hashtbl.mem used (Xia_index.Index_def.logical_id c.def)
-          then Hashtbl.replace ids c.id ())
-        cands;
+          if indiv.(i) > 0.0 then Hashtbl.replace ids c.Candidate.id ())
+        rest;
       Atomic.set t.useful_memo (Some ids);
       ids

@@ -21,10 +21,19 @@ type t
 (** Build an evaluator: costs every statement once with no indexes (one
     batched optimizer invocation).  [domains] (default
     [Par.default_domains ()]) bounds the parallel what-if fan-out; any value
-    yields bit-for-bit identical results. *)
+    yields bit-for-bit identical results.  Equivalent to [of_summary] over
+    {!Workload_summary.raw}. *)
 val create : ?domains:int -> Catalog.t -> Workload.t -> t
 
+(** Build an evaluator over a workload summary: statements are the summary's
+    cluster representatives and every cost sum is weighted by the cluster
+    frequencies, so the raw and compressed paths share one code path. *)
+val of_summary : ?domains:int -> Catalog.t -> Workload_summary.t -> t
+
 val catalog : t -> Catalog.t
+
+(** The summary this evaluator runs on (identity clusters for {!create}). *)
+val summary : t -> Workload_summary.t
 
 (** Parallelism bound for the what-if fan-out. *)
 val domains : t -> int
@@ -39,6 +48,14 @@ val evaluations : t -> int
 
 (** Sub-configuration cache hits of this evaluator. *)
 val cache_hits : t -> int
+
+(** Configuration evaluations skipped by upper-bound pruning (probes and
+    search steps whose optimistic bound could not beat the incumbent). *)
+val pruned_count : t -> int
+
+(** Record [n] pruned evaluations (search algorithms call this when a bound
+    lets them skip a probe).  No-op for [n <= 0]. *)
+val count_pruned : t -> int -> unit
 
 (** Number of distinct sub-configurations currently cached. *)
 val cached_sub_configs : t -> int
@@ -84,12 +101,30 @@ val candidate_size : t -> Candidate.t -> int
 (** Sum of {!candidate_size} over a configuration. *)
 val config_size : t -> Candidate.t list -> int
 
+(** Per-statement cost floors: statement [i]'s what-if cost under every
+    candidate that could possibly apply to it, so
+    [floors.(i) <= cost_i(config) <= base_i] for EVERY configuration drawn
+    from [set].  Memoized per evaluator (one grouped batch pass on first
+    use). *)
+val floors : t -> Candidate.set -> float array
+
+(** [atomic_upper_bound t set c] dominates [individual_benefit t c]:
+    [Σ weight_i·(base_i − floors.(i))] over [c]'s affected statements.  A
+    bound of [0.] certifies the individual benefit is exactly
+    [0. -. maintenance_charge t [c]] (bit-for-bit), with no optimizer call.
+    Memoized per candidate id. *)
+val atomic_upper_bound : t -> Candidate.set -> Candidate.t -> float
+
 (* Interned logical ids ({!Xia_index.Index_def.logical_id}) of candidates
    used by some plan when each statement's basic candidates are installed
-   together (captures combination-only value). *)
+   together (captures combination-only value).  Memoized per evaluator. *)
 val used_in_plans : t -> Candidate.set -> (int, unit) Hashtbl.t
 
 (** Ids of candidates worth searching over: positive individual benefit or
     used by some plan in combination (the paper's "not used in optimizer
-    plans" pruning criterion, inverted). *)
-val useful_ids : t -> Candidate.set -> (int, unit) Hashtbl.t
+    plans" pruning criterion, inverted).  Plan-used candidates are never
+    probed (the disjunction short-circuits); with [~prune:true], candidates
+    whose {!atomic_upper_bound} is non-positive are skipped too.  The result
+    set is identical either way — only the optimizer-call count changes.
+    Memoized per evaluator (first caller's [prune] wins the computation). *)
+val useful_ids : ?prune:bool -> t -> Candidate.set -> (int, unit) Hashtbl.t

@@ -34,6 +34,7 @@ type outcome = {
   size : int;
   benefit : float;          (* full-evaluation benefit of the final config *)
   optimizer_calls : int;    (* evaluator calls consumed by this search *)
+  pruned : int;             (* evaluations skipped by upper-bound pruning *)
   elapsed : float;
 }
 
@@ -78,13 +79,14 @@ let by_density ev benefit_of cands =
       | c -> c)
     cands
 
-let finalize ~algorithm ev ~calls_before ~t0 config =
+let finalize ~algorithm ev ~calls_before ~pruned_before ~t0 config =
   {
     algorithm;
     config;
     size = config_size ev config;
     benefit = Benefit.benefit ev config;
     optimizer_calls = Benefit.evaluations ev - calls_before;
+    pruned = Benefit.pruned_count ev - pruned_before;
     elapsed = Obs.now_s () -. t0;
   }
 
@@ -92,30 +94,150 @@ let finalize ~algorithm ev ~calls_before ~t0 config =
 
 (* Search pool: candidates with positive individual benefit or used by some
    plan in combination. *)
-let pool ev set =
-  let useful = Benefit.useful_ids ev set in
+let pool ?prune ev set =
+  let useful = Benefit.useful_ids ?prune ev set in
   List.filter (fun (c : Candidate.t) -> Hashtbl.mem useful c.id) (Candidate.to_list set)
 
-let greedy ev set ~budget =
+(* Lazy-evaluation entry for the pruned greedy (CELF-style): [le_value] is
+   the candidate's benefit DENSITY — initialized from its atomic upper bound
+   and only refreshed to the exact value when the entry reaches the front of
+   the queue.  Since the upper bound dominates the exact benefit, an entry
+   whose EXACT density tops the queue is guaranteed to top the exact
+   ordering: every other entry's eventual exact density sits at or below its
+   current (bounding) value.  Popping therefore reproduces the eager sorted
+   order exactly — including ties, because the comparator below is the same
+   total order [by_density] sorts with. *)
+type celf_entry = {
+  le_cand : Candidate.t;
+  le_size : int;
+  le_spec : int;
+  le_key : string;
+  le_used : bool;             (* kept by the plan-usage criterion *)
+  mutable le_value : float;   (* density; an upper bound until [le_exact] *)
+  mutable le_exact : bool;
+}
+
+(* Same total order as [by_density]: density desc, specificity desc, logical
+   key asc.  Floats compare with the polymorphic [compare], as there. *)
+let celf_better a b =
+  match compare a.le_value b.le_value with
+  | n when n <> 0 -> n > 0
+  | _ -> (
+      match compare a.le_spec b.le_spec with
+      | n when n <> 0 -> n > 0
+      | _ -> String.compare a.le_key b.le_key < 0)
+
+let celf_entry ev used_tbl ~value ~exact (c : Candidate.t) =
+  {
+    le_cand = c;
+    le_size = candidate_size ev c;
+    le_spec = Xia_xpath.Pattern.specificity c.Candidate.def.Index_def.pattern;
+    le_key = Index_def.logical_key c.Candidate.def;
+    le_used = Hashtbl.mem used_tbl (Index_def.logical_id c.Candidate.def);
+    le_value = value;
+    le_exact = exact;
+  }
+
+(* Pruned greedy: identical configuration to the eager version (sort the
+   whole pool by exact density, admit in order while the budget fits), but
+   candidates are only cost-probed when their upper bound forces them to the
+   front.  Exactness argument:
+
+   - the queue holds {plan-used} ∪ {upper bound > 0}; everything else has
+     individual benefit <= 0.0 -. mc <= 0 and is outside the eager pool, so
+     skipping its probe outright cannot change the result (counted pruned);
+   - a refreshed entry with exact benefit <= 0 that is not plan-used is
+     dropped — the eager pool ([useful_ids]) excludes exactly those;
+   - a popped EXACT entry precedes every remaining entry in the eager order
+     (see [celf_entry]), so admissions happen in the eager sequence and the
+     budget accumulator agrees step for step;
+   - once the remaining budget is below the smallest remaining entry size,
+     no remaining entry can be admitted and none can change the state
+     (rejection keeps the accumulator), so the stale remainder is skipped
+     without probing (counted pruned). *)
+let greedy_pruned ev set ~budget ~calls_before ~pruned_before ~t0 =
+  let used_tbl = Benefit.used_in_plans ev set in
+  let entries = ref [] in
+  List.iter
+    (fun (c : Candidate.t) ->
+      let ub = Benefit.atomic_upper_bound ev set c in
+      let e = celf_entry ev used_tbl ~value:0.0 ~exact:false c in
+      if e.le_used || ub > 0.0 then begin
+        e.le_value <- ub /. float_of_int (max 1 e.le_size);
+        entries := e :: !entries
+      end
+      else Benefit.count_pruned ev 1)
+    (Candidate.to_list set);
+  let config = ref [] in
+  let used_bytes = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !entries <> [] do
+    let min_size =
+      List.fold_left (fun acc e -> min acc e.le_size) max_int !entries
+    in
+    if !used_bytes + min_size > budget then begin
+      (* Nothing left can fit; an eager run would probe and reject each. *)
+      Benefit.count_pruned ev
+        (List.length (List.filter (fun e -> not e.le_exact) !entries));
+      count "search.greedy.rejected" (List.length !entries);
+      entries := [];
+      continue_ := false
+    end
+    else begin
+      let top =
+        List.fold_left
+          (fun best e -> if celf_better e best then e else best)
+          (List.hd !entries) (List.tl !entries)
+      in
+      if not top.le_exact then begin
+        let v = Benefit.individual_benefit ev top.le_cand in
+        if v <= 0.0 && not top.le_used then
+          (* outside the eager pool: probed (not pruned), then dropped *)
+          entries := List.filter (fun e -> e != top) !entries
+        else begin
+          top.le_value <- v /. float_of_int (max 1 top.le_size);
+          top.le_exact <- true
+        end
+      end
+      else begin
+        if !used_bytes + top.le_size <= budget then begin
+          count "search.greedy.admitted" 1;
+          config := top.le_cand :: !config;
+          used_bytes := !used_bytes + top.le_size
+        end
+        else count "search.greedy.rejected" 1;
+        entries := List.filter (fun e -> e != top) !entries
+      end
+    end
+  done;
+  finalize ~algorithm:"greedy" ev ~calls_before ~pruned_before ~t0
+    (List.rev !config)
+
+let greedy ?(prune = true) ev set ~budget =
   Trace.with_span "search.greedy" @@ fun () ->
   let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
-  let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
-  let config, _ =
-    List.fold_left
-      (fun (config, used) c ->
-        let s = candidate_size ev c in
-        if used + s <= budget then begin
-          count "search.greedy.admitted" 1;
-          (c :: config, used + s)
-        end
-        else begin
-          count "search.greedy.rejected" 1;
-          (config, used)
-        end)
-      ([], 0) cands
-  in
-  finalize ~algorithm:"greedy" ev ~calls_before ~t0 (List.rev config)
+  let pruned_before = Benefit.pruned_count ev in
+  if prune then greedy_pruned ev set ~budget ~calls_before ~pruned_before ~t0
+  else begin
+    let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
+    let config, _ =
+      List.fold_left
+        (fun (config, used) c ->
+          let s = candidate_size ev c in
+          if used + s <= budget then begin
+            count "search.greedy.admitted" 1;
+            (c :: config, used + s)
+          end
+          else begin
+            count "search.greedy.rejected" 1;
+            (config, used)
+          end)
+        ([], 0) cands
+    in
+    finalize ~algorithm:"greedy" ev ~calls_before ~pruned_before ~t0
+      (List.rev config)
+  end
 
 (* -------- Greedy with heuristics -------- *)
 
@@ -129,6 +251,7 @@ let greedy_heuristics ?(beta = beta_default) ev set ~budget =
   Trace.with_span "search.greedy_heuristics" @@ fun () ->
   let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
+  let pruned_before = Benefit.pruned_count ev in
   let cands = by_density ev (Benefit.individual_benefit ev) (pool ev set) in
   let covered = ref Int_set.empty in
   let config = ref [] in
@@ -208,7 +331,8 @@ let greedy_heuristics ?(beta = beta_default) ev set ~budget =
     cands;
   count "search.greedy_heuristics.rejected"
     (List.length cands - List.length !config);
-  finalize ~algorithm:"greedy+heuristics" ev ~calls_before ~t0 (List.rev !config)
+  finalize ~algorithm:"greedy+heuristics" ev ~calls_before ~pruned_before ~t0
+    (List.rev !config)
 
 (* -------- Top-down -------- *)
 
@@ -226,8 +350,25 @@ let dedup_by_id config =
     config
 
 (* Greedy fallback once no general candidate can be replaced: keep the best
-   subset of the (now specific) configuration that fits. *)
-let greedy_fallback ev ~budget config =
+   subset of the (now specific) configuration that fits.  Under [prune],
+   candidates whose upper bound is non-positive are dropped before the
+   density sort without probing: their individual benefit is at most
+   [0. -. mc <= 0], so the fold's [> 0.0] admission test can never pass for
+   them, and rejected candidates never change the accumulator — the kept
+   list is identical. *)
+let greedy_fallback ?(prune = false) ev set ~budget config =
+  let config =
+    if not prune then config
+    else
+      List.filter
+        (fun (c : Candidate.t) ->
+          if Benefit.atomic_upper_bound ev set c <= 0.0 then begin
+            Benefit.count_pruned ev 1;
+            false
+          end
+          else true)
+        config
+  in
   let ordered = by_density ev (Benefit.individual_benefit ev) config in
   let kept, _ =
     List.fold_left
@@ -240,7 +381,7 @@ let greedy_fallback ev ~budget config =
   in
   List.rev kept
 
-let top_down ?(variant = Full) ev set ~budget =
+let top_down ?(variant = Full) ?(prune = true) ev set ~budget =
   let span, counter_prefix =
     match variant with
     | Lite -> ("search.top_down_lite", "search.top_down_lite")
@@ -249,12 +390,30 @@ let top_down ?(variant = Full) ev set ~budget =
   Trace.with_span span @@ fun () ->
   let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
+  let pruned_before = Benefit.pruned_count ev in
   let algorithm =
     match variant with Lite -> "top-down lite" | Full -> "top-down full"
   in
+  (* Force the floors memo from this thread before any parallel round: the
+     bound computations inside the fan-out must hit the memo, not race to
+     build it (racing would keep results exact but skew the cache-hit
+     counters away from the sequential run). *)
+  if prune then ignore (Benefit.floors ev set);
+  (* Individual benefit with the zero-bound shortcut: a candidate whose
+     upper bound is 0 provably has a delta term of exactly +0.0, so its
+     benefit is [0.0 -. mc] bit-for-bit — no optimizer probe needed.  Only
+     the Lite variant scores with individual benefits; Full re-evaluates
+     whole configurations, where the bound says nothing. *)
+  let ib_sharp (c : Candidate.t) =
+    if prune && Benefit.atomic_upper_bound ev set c <= 0.0 then begin
+      Benefit.count_pruned ev 1;
+      0.0 -. Benefit.maintenance_charge ev [ c ]
+    end
+    else Benefit.individual_benefit ev c
+  in
   (* Preprocessing: drop candidates with zero or negative benefit that no
      optimizer plan uses (the paper's two removal reasons). *)
-  let in_space = Benefit.useful_ids ev set in
+  let in_space = Benefit.useful_ids ~prune ev set in
   let space_mem (c : Candidate.t) = Hashtbl.mem in_space c.id in
   let space = List.filter space_mem (Candidate.to_list set) in
   let roots =
@@ -299,8 +458,7 @@ let top_down ?(variant = Full) ev set ~budget =
               | Lite ->
                   (* Already inside the fan-out's task: domains:1 keeps the
                      children sum a plain (deterministic) sequential fold. *)
-                  Benefit.individual_benefit ev g
-                  -. Par.sum_list ~domains:1 (Benefit.individual_benefit ev) children
+                  ib_sharp g -. Par.sum_list ~domains:1 ib_sharp children
               | Full ->
                   let rest =
                     List.filter (fun (x : Candidate.t) -> x.id <> g.id) current
@@ -335,13 +493,14 @@ let top_down ?(variant = Full) ev set ~budget =
             (children @ List.filter (fun (x : Candidate.t) -> x.id <> g.id) !config)
   done;
   let config =
-    if config_size ev !config > budget then greedy_fallback ev ~budget !config
+    if config_size ev !config > budget then
+      greedy_fallback ~prune ev set ~budget !config
     else !config
   in
-  finalize ~algorithm ev ~calls_before ~t0 config
+  finalize ~algorithm ev ~calls_before ~pruned_before ~t0 config
 
-let top_down_lite ev set ~budget = top_down ~variant:Lite ev set ~budget
-let top_down_full ev set ~budget = top_down ~variant:Full ev set ~budget
+let top_down_lite ?prune ev set ~budget = top_down ~variant:Lite ?prune ev set ~budget
+let top_down_full ?prune ev set ~budget = top_down ~variant:Full ?prune ev set ~budget
 
 (* -------- Dynamic programming (exact knapsack, no interaction) -------- *)
 
@@ -349,12 +508,15 @@ let dynamic_programming ev set ~budget =
   Trace.with_span "search.dynamic_programming" @@ fun () ->
   let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
+  let pruned_before = Benefit.pruned_count ev in
   let items =
     List.filter (fun c -> candidate_size ev c <= budget) (pool ev set)
   in
   let items = Array.of_list items in
   let n = Array.length items in
-  if n = 0 then finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 []
+  if n = 0 then
+    finalize ~algorithm:"dynamic programming" ev ~calls_before ~pruned_before
+      ~t0 []
   else begin
     (* Size granularity keeps the table small; round item sizes UP so the
        budget is never exceeded.  [units] is clamped to at least 1: every
@@ -397,7 +559,8 @@ let dynamic_programming ev set ~budget =
     done;
     count "search.dynamic_programming.admitted" (List.length !config);
     count "search.dynamic_programming.rejected" (n - List.length !config);
-    finalize ~algorithm:"dynamic programming" ev ~calls_before ~t0 !config
+    finalize ~algorithm:"dynamic programming" ev ~calls_before ~pruned_before
+      ~t0 !config
   end
 
 (* -------- All-Index configuration -------- *)
@@ -408,7 +571,9 @@ let all_index ev set =
   Trace.with_span "search.all_index" @@ fun () ->
   let t0 = Obs.now_s () in
   let calls_before = Benefit.evaluations ev in
-  finalize ~algorithm:"all index" ev ~calls_before ~t0 (Candidate.basics set)
+  let pruned_before = Benefit.pruned_count ev in
+  finalize ~algorithm:"all index" ev ~calls_before ~pruned_before ~t0
+    (Candidate.basics set)
 
 let pp_outcome ppf o =
   Fmt.pf ppf "%-18s size=%8d benefit=%12.1f calls=%5d time=%.3fs indexes=%d" o.algorithm

@@ -109,3 +109,51 @@ let workload ?(seed = 7) ?(label_prefix = "R") catalog tables n =
           build (i + 1) (it :: acc)
   in
   build 0 []
+
+(* Skewed workload: a pool of [distinct] random templates, then [n]
+   statements Zipf-sampled from it (template rank r drawn with probability
+   proportional to 1/r^alpha).  This is what production query logs look like
+   — a few hot templates dominating a long tail of rare ones — and it is the
+   regime workload compression targets: the statement list is long, the
+   distinct-signature set is short.  Duplicates are literal (same statement
+   value, fresh label), so signature clustering collapses them exactly.
+   Statement frequencies additionally carry the template's own base
+   frequency skew: hot templates get freq 1.0, the tail keeps a decayed
+   weight, exercising the weighted-cost path with non-uniform weights. *)
+let skewed_workload ?(seed = 7) ?(alpha = 1.1) ?(label_prefix = "Z") ~distinct
+    catalog tables n =
+  let rng = Random.State.make [| seed |] in
+  let pool =
+    Array.of_list (workload ~seed:(seed + 1) ~label_prefix:"T" catalog tables distinct)
+  in
+  let k = Array.length pool in
+  if k = 0 then []
+  else begin
+    (* Cumulative Zipf mass over ranks 1..k. *)
+    let mass = Array.make k 0.0 in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i _ ->
+        total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) alpha);
+        mass.(i) <- !total)
+      mass;
+    let pick () =
+      let x = Random.State.float rng !total in
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if mass.(mid) < x then search (mid + 1) hi else search lo mid
+      in
+      search 0 (k - 1)
+    in
+    List.init n (fun i ->
+        let r = pick () in
+        let (template : Workload.item) = pool.(r) in
+        let freq = 1.0 /. Float.pow (float_of_int (r + 1)) (alpha /. 4.0) in
+        {
+          Workload.label = Printf.sprintf "%s%d" label_prefix (i + 1);
+          statement = template.Workload.statement;
+          freq;
+        })
+  end

@@ -15,3 +15,18 @@ val workload :
   string list ->
   int ->
   Workload.t
+
+(** [skewed_workload ~distinct catalog tables n]: [n] statements Zipf-sampled
+    (exponent [alpha], default 1.1) from a pool of [distinct] random
+    templates, with rank-decayed statement frequencies — the duplicate-heavy
+    regime workload compression targets.  Deterministic for a fixed
+    [seed]. *)
+val skewed_workload :
+  ?seed:int ->
+  ?alpha:float ->
+  ?label_prefix:string ->
+  distinct:int ->
+  Xia_index.Catalog.t ->
+  string list ->
+  int ->
+  Workload.t

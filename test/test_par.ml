@@ -108,9 +108,9 @@ let differential_tests =
         | [] -> assert false)
   in
   [
-    run_all "greedy" S.greedy;
+    run_all "greedy" (fun ev set ~budget -> S.greedy ev set ~budget);
     run_all "greedy+heuristics" (fun ev set ~budget -> S.greedy_heuristics ev set ~budget);
-    run_all "top-down full" S.top_down_full;
+    run_all "top-down full" (fun ev set ~budget -> S.top_down_full ev set ~budget);
     run_all "dp" S.dynamic_programming;
   ]
 

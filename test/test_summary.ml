@@ -1,0 +1,250 @@
+(* Workload compression (Workload_summary) and upper-bound pruning tests.
+
+   - Differential: on duplicate-heavy workloads (cost-homogeneous clusters)
+     the compressed advisor recommends exactly the raw advisor's indexes,
+     across benchmarks and domain counts.
+   - Bounded regret: on a heterogeneous workload (same signatures, different
+     constants) the compressed recommendation's true estimated cost stays
+     close to the raw recommendation's.
+   - Clustering determinism: the signature partition is a stable,
+     permutation-insensitive function of the workload.
+   - Pruning soundness: every pruned search returns the same outcome as its
+     unpruned twin, and the pruned counter actually fires at scale. *)
+
+module A = Xia_advisor.Advisor
+module B = Xia_advisor.Benefit
+module C = Xia_advisor.Candidate
+module S = Xia_advisor.Search
+module En = Xia_advisor.Enumeration
+module WS = Xia_advisor.Workload_summary
+module Cat = Xia_index.Catalog
+module W = Xia_workload.Workload
+module Synthetic = Xia_workload.Synthetic
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let xmark_catalog =
+  lazy
+    (let catalog = Cat.create () in
+     Xia_workload.Xmark.load ~scale:Xia_workload.Xmark.tiny_scale ~seed:7 catalog;
+     catalog)
+
+(* [k] literal copies of every item (fresh labels, same statement value and
+   frequency): every cluster is cost-homogeneous by construction. *)
+let dup k (wl : W.t) =
+  List.concat_map
+    (fun (it : W.item) ->
+      List.init k (fun i ->
+          { it with W.label = Printf.sprintf "%s#%d" it.W.label i }))
+    wl
+
+let defs_of (r : A.recommendation) =
+  List.map
+    (fun (c : C.t) -> Xia_index.Index_def.logical_key c.C.def)
+    r.A.outcome.S.config
+
+(* ---------- differential: compressed == raw on homogeneous clusters ------- *)
+
+let differential_case (name, catalog, wl) =
+  tc (name ^ ": compressed = raw on duplicate-heavy workload") (fun () ->
+      let catalog = Lazy.force catalog in
+      let wl = dup 4 wl in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun alg ->
+              let budget = 512 * 1024 in
+              let raw =
+                A.advise ~domains ~compress:false catalog wl ~budget alg
+              in
+              let comp =
+                A.advise ~domains ~compress:true catalog wl ~budget alg
+              in
+              let label what =
+                Printf.sprintf "%s/%s/domains=%d %s" name
+                  (A.algorithm_name alg) domains what
+              in
+              Alcotest.(check bool)
+                (label "compressed flag") true comp.A.summary.WS.compressed;
+              Alcotest.(check bool)
+                (label "fewer clusters") true
+                (comp.A.summary.WS.cluster_count
+                < comp.A.summary.WS.statements);
+              Alcotest.(check (list string))
+                (label "identical indexes") (defs_of raw) (defs_of comp);
+              Alcotest.(check int)
+                (label "identical size") raw.A.outcome.S.size
+                comp.A.outcome.S.size)
+            [ A.Greedy; A.Greedy_heuristics; A.Top_down_full ])
+        [ 1; 4 ])
+
+let differential_fixtures =
+  [
+    ("tpox", Helpers.shared_catalog, Xia_workload.Tpox.workload ());
+    ("xmark", xmark_catalog, Xia_workload.Xmark.workload ());
+  ]
+
+let synthetic_differential =
+  tc "synthetic: compressed = raw on duplicate-heavy workload" (fun () ->
+      let catalog = Lazy.force Helpers.shared_catalog in
+      let wl =
+        dup 4
+          (Synthetic.workload ~seed:13 catalog (Cat.table_names catalog) 10)
+      in
+      List.iter
+        (fun domains ->
+          let budget = 512 * 1024 in
+          let raw =
+            A.advise ~domains ~compress:false catalog wl ~budget A.Greedy
+          in
+          let comp =
+            A.advise ~domains ~compress:true catalog wl ~budget A.Greedy
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "identical indexes (domains=%d)" domains)
+            (defs_of raw) (defs_of comp))
+        [ 1; 4 ])
+
+(* ---------- bounded regret on a heterogeneous workload ------------------- *)
+
+(* Random synthetic queries repeat paths with different constants: clusters
+   form (shared signatures) but per-member costs differ, so the compressed
+   recommendation may legitimately deviate.  Its TRUE estimated cost over
+   the SOURCE workload must still land close to the raw recommendation's,
+   and must never be worse than recommending nothing. *)
+let bounded_regret =
+  tc "heterogeneous workload: bounded regret" (fun () ->
+      let catalog = Lazy.force Helpers.shared_catalog in
+      let wl =
+        Synthetic.skewed_workload ~seed:5 ~alpha:0.9 ~distinct:12 catalog
+          (Cat.table_names catalog) 60
+      in
+      let budget = 256 * 1024 in
+      let raw = A.advise ~domains:1 ~compress:false catalog wl ~budget A.Greedy in
+      let comp = A.advise ~domains:1 ~compress:true catalog wl ~budget A.Greedy in
+      let cost defs = A.estimated_workload_cost catalog wl defs in
+      let base = cost [] in
+      let raw_cost = cost (A.indexes raw) in
+      let comp_cost = cost (A.indexes comp) in
+      Alcotest.(check bool) "raw improves" true (raw_cost <= base);
+      Alcotest.(check bool) "compressed improves" true (comp_cost <= base);
+      Alcotest.(check bool)
+        (Printf.sprintf "regret bounded (raw %.1f, compressed %.1f)" raw_cost
+           comp_cost)
+        true
+        (comp_cost <= raw_cost *. 1.25))
+
+(* ---------- clustering determinism --------------------------------------- *)
+
+(* The partition (as a set of member-label sets) must be identical across
+   repeated runs and across input permutations; domain counts cannot touch
+   it (clustering is a pure sequential pass).  First-occurrence cluster
+   ORDER tracks the permuted input, so only the partition is compared. *)
+let qcheck_clustering =
+  QCheck.Test.make ~count:8
+    ~name:"signature clustering is deterministic and permutation-insensitive"
+    QCheck.(make Gen.(int_range 1 1000))
+    (fun seed ->
+      let catalog = Lazy.force Helpers.shared_catalog in
+      let wl =
+        Synthetic.skewed_workload ~seed ~distinct:8 catalog
+          (Cat.table_names catalog) 24
+      in
+      let partition wl =
+        let s = WS.compress catalog wl in
+        let items = Array.of_list wl in
+        WS.members s
+        |> List.map (fun members ->
+               List.sort compare
+                 (List.map (fun i -> items.(i).W.label) members))
+        |> List.sort compare
+      in
+      let rng = Random.State.make [| seed + 17 |] in
+      let shuffled =
+        wl
+        |> List.map (fun it -> (Random.State.bits rng, it))
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd
+      in
+      let p = partition wl in
+      p = partition wl && p = partition shuffled)
+
+(* ---------- pruning soundness -------------------------------------------- *)
+
+let config_ids (o : S.outcome) =
+  List.map (fun (c : C.t) -> c.C.id) o.S.config
+
+let prune_case (name, catalog, wl) =
+  tc (name ^ ": prune on = prune off") (fun () ->
+      let catalog = Lazy.force catalog in
+      let set = En.candidates catalog wl in
+      let budget =
+        let ev = B.create ~domains:1 catalog wl in
+        (S.all_index ev set).S.size / 2
+      in
+      List.iter
+        (fun (sname, search) ->
+          let run prune =
+            let ev = B.create ~domains:1 catalog wl in
+            search ~prune ev set ~budget
+          in
+          let on = run true and off = run false in
+          Alcotest.(check (list int))
+            (sname ^ " config") (config_ids off) (config_ids on);
+          Alcotest.(check int) (sname ^ " size") off.S.size on.S.size;
+          Alcotest.(check bool)
+            (sname ^ " benefit") true
+            (Float.equal off.S.benefit on.S.benefit);
+          Alcotest.(check int) (sname ^ " off pruned nothing") 0 off.S.pruned)
+        [
+          ("greedy", fun ~prune ev set ~budget -> S.greedy ~prune ev set ~budget);
+          ( "top-down lite",
+            fun ~prune ev set ~budget -> S.top_down_lite ~prune ev set ~budget );
+          ( "top-down full",
+            fun ~prune ev set ~budget -> S.top_down_full ~prune ev set ~budget );
+        ])
+
+let prune_fixtures =
+  [
+    ("tpox", Helpers.shared_catalog, Xia_workload.Tpox.workload ());
+    ("xmark", xmark_catalog, Xia_workload.Xmark.workload ());
+    ( "tpox+synthetic",
+      Helpers.shared_catalog,
+      Xia_workload.Tpox.workload ()
+      @ Synthetic.workload ~seed:11
+          (Lazy.force Helpers.shared_catalog)
+          (Cat.table_names (Lazy.force Helpers.shared_catalog))
+          8 );
+  ]
+
+let pruned_counter_fires =
+  tc "pruned counter strictly positive at scale" (fun () ->
+      let catalog = Lazy.force Helpers.shared_catalog in
+      let wl =
+        Synthetic.skewed_workload ~seed:31 ~distinct:24 catalog
+          (Cat.table_names catalog) 2000
+      in
+      (* Above the auto threshold: compression must kick in unforced. *)
+      let r = A.advise ~domains:1 catalog wl ~budget:(256 * 1024) A.Greedy in
+      Alcotest.(check bool) "auto-compressed" true r.A.summary.WS.compressed;
+      Alcotest.(check int) "statements" 2000 r.A.summary.WS.statements;
+      Alcotest.(check bool)
+        "clusters bounded by templates" true
+        (r.A.summary.WS.cluster_count <= 24);
+      Alcotest.(check bool)
+        (Printf.sprintf "pruned > 0 (got %d)" r.A.outcome.S.pruned)
+        true
+        (r.A.outcome.S.pruned > 0))
+
+let summary_tests =
+  List.map differential_case differential_fixtures
+  @ [ synthetic_differential; bounded_regret ]
+
+let prune_tests = List.map prune_case prune_fixtures @ [ pruned_counter_fires ]
+
+let suites =
+  [
+    ("summary.differential", summary_tests);
+    ("summary.pruning", prune_tests);
+    Helpers.qsuite "summary.qcheck" [ qcheck_clustering ];
+  ]

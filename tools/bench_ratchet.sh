@@ -2,11 +2,17 @@
 # Bench ratchet: the advisor exhibits' optimizer-call counts must never
 # regress, and wall-clock must stay within a noise tolerance of baseline.
 #
-# Re-runs the quick-scale `par` exhibit in a scratch directory (so the
-# committed BENCH_advisor.json is never clobbered), extracts per-exhibit
+# Re-runs the quick-scale advisor exhibits (par plus the scale10k
+# compression pair) in a scratch directory (so the committed
+# BENCH_advisor.json is never clobbered), extracts per-exhibit
 # optimizer_calls / optimizer_calls_raw / wall_seconds from the fresh JSON,
 # and compares against the committed bench.baseline (one
 # "exhibit metric value" triple per line, '#' comments allowed).
+#
+# The scale10k/scale10k-raw pair is the workload-compression acceptance
+# exhibit: the compressed run's raw-equivalent calls must stay >= 10x below
+# the uncompressed run's — checked explicitly below, on top of the
+# per-exhibit ratchets.
 #
 # Call counts are deterministic — any increase fails hard.  Wall-clock is
 # noisy, so it only fails above WALL_TOL x baseline (default 3.0; override
@@ -28,14 +34,15 @@
 #   ./tools/bench_ratchet.sh --write-baseline
 #
 # The baseline must agree with the committed BENCH_advisor.json: regenerate
-# both together (`dune exec bench/main.exe -- quick par`, then
-# `./tools/bench_ratchet.sh --write-baseline`).
+# both together (`dune exec bench/main.exe -- quick par scale10k scale10k-raw`,
+# then `./tools/bench_ratchet.sh --write-baseline`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WALL_TOL="${WALL_TOL:-3.0}"
-EXHIBITS="par"
+EXHIBITS="par scale10k scale10k-raw"
+COMPRESS_MIN_RATIO=10
 
 mode=check
 exe=""
@@ -140,6 +147,23 @@ while read -r ex metric value; do
       ;;
   esac
 done <<<"$fresh_metrics"
+
+# Compression acceptance: the compressed scale exhibit must need at most
+# 1/COMPRESS_MIN_RATIO of the uncompressed path's raw-equivalent calls.
+fresh_of() {
+  awk -v ex="$1" -v metric="$2" '$1 == ex && $2 == metric { print $3 }' <<<"$fresh_metrics"
+}
+raw_compressed=$(fresh_of scale10k optimizer_calls_raw)
+raw_uncompressed=$(fresh_of scale10k-raw optimizer_calls_raw)
+if [ -n "$raw_compressed" ] && [ -n "$raw_uncompressed" ]; then
+  if [ $((raw_compressed * COMPRESS_MIN_RATIO)) -gt "$raw_uncompressed" ]; then
+    echo "bench-ratchet: compression ratio regressed: scale10k raw-equivalent $raw_compressed vs uncompressed $raw_uncompressed (must be >= ${COMPRESS_MIN_RATIO}x apart)" >&2
+    fail=1
+  fi
+else
+  echo "bench-ratchet: scale10k/scale10k-raw missing from fresh metrics" >&2
+  fail=1
+fi
 
 # Absolute micro ceilings against the committed BENCH_micro.json.
 if grep -q '^micro ' bench.baseline 2>/dev/null; then
