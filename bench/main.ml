@@ -675,6 +675,18 @@ let scale10k_raw () =
   header "Workload compression baseline: the same workload, uncompressed";
   ignore (scale10k_impl ~compress:false)
 
+(* ---------- Recommendation quality vs the exhaustive optimum ---------- *)
+
+(* The committed eval cases (lib/eval): regret against the true optimum and
+   executor-validated benefit, the same numbers `xia_advise eval --small`
+   reports and tools/eval_ratchet.sh ratchets.  Always at the tiny scale —
+   the exhaustive oracle is exponential in the candidate pool, so the full
+   benchmark scale is out of reach by design. *)
+let eval_quality () =
+  header "Recommendation quality: regret vs exhaustive optimum (tiny scale)";
+  let cases = Xia_eval.Eval.run ~small:true Xia_eval.Eval.default_specs in
+  List.iter (fun c -> Format.printf "%a@." Xia_eval.Eval.pp_case c) cases
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -947,6 +959,7 @@ let experiments =
     ("par", par);
     ("scale10k", scale10k);
     ("scale10k-raw", scale10k_raw);
+    ("eval-quality", eval_quality);
   ]
 
 let () =

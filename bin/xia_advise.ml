@@ -221,6 +221,52 @@ let review_cmd benchmark small data_dirs workload_file update_freq synthetic ind
       end;
       0
 
+(* Recommendation-quality evaluation: regret vs the exhaustive optimum plus
+   executor validation, on the committed small cases.  The heavy lifting
+   (two-evaluator protocol, scoring, JSON rendering) lives in lib/eval; this
+   command only selects cases, prints the tables and writes the files. *)
+let eval_cmd benchmark small json_file perturb domains trace_file metrics_file =
+  if trace_file <> None || metrics_file <> None then Xia_obs.Obs.set_enabled true;
+  let specs =
+    let all = Xia_eval.Eval.default_specs in
+    match benchmark with
+    | None -> all
+    | Some Tpox ->
+        List.filter (fun s -> s.Xia_eval.Eval.s_bench = Xia_eval.Eval.Tpox) all
+    | Some Xmark ->
+        List.filter (fun s -> s.Xia_eval.Eval.s_bench = Xia_eval.Eval.Xmark) all
+  in
+  if perturb <> 1.0 then
+    Format.printf "search-phase cost model perturbed: index costs x %.2f@." perturb;
+  let results, elapsed =
+    Xia_obs.Trace.timed "cli.eval" (fun () ->
+        Xia_eval.Eval.run ?domains ~perturb ~small specs)
+  in
+  List.iter (fun r -> Format.printf "%a@." Xia_eval.Eval.pp_case r) results;
+  Format.printf "eval time %.2fs@." elapsed;
+  Option.iter
+    (fun path ->
+      let json = Xia_eval.Eval.to_json ~small ~perturb results in
+      if path = "-" then print_string json
+      else begin
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      end)
+    json_file;
+  Option.iter
+    (fun path ->
+      Xia_obs.Trace.write_file path
+        (Xia_obs.Trace.export_chrome (Xia_obs.Trace.flush ())))
+    trace_file;
+  Option.iter
+    (fun path ->
+      Xia_obs.Trace.write_file path
+        (Xia_obs.Metrics.to_json (Xia_obs.Metrics.snapshot ())))
+    metrics_file;
+  0
+
 (* Generate benchmark data to directories of XML files. *)
 let generate_cmd benchmark small out_dir =
   let catalog = load_catalog benchmark small [] in
@@ -387,6 +433,39 @@ let whatif_term =
     const whatif_cmd $ benchmark_arg $ small_arg $ data_arg $ workload_file_arg
     $ updates_arg $ synthetic_arg $ index_arg)
 
+let eval_workload_arg =
+  let bench_conv = Arg.enum [ ("tpox", Tpox); ("xmark", Xmark) ] in
+  Arg.(
+    value
+    & opt (some bench_conv) None
+    & info [ "workload"; "w" ]
+        ~doc:
+          "Restrict evaluation to one benchmark's cases (default: all; the \
+           synthetic case rides with tpox).")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable evaluation report (one entry object \
+           per line) to $(docv); $(b,-) writes it to stdout.")
+
+let perturb_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "perturb" ] ~docv:"FACTOR"
+        ~doc:
+          "Multiply every index-plan cost by $(docv) during the search phase \
+           only; ground truth stays unperturbed, so a broken cost model \
+           shows up as regret.  Test hook for tools/eval_ratchet.sh.")
+
+let eval_term =
+  Term.(
+    const eval_cmd $ eval_workload_arg $ small_arg $ json_arg $ perturb_arg
+    $ domains_arg $ trace_arg $ metrics_arg)
+
 let out_dir_arg =
   Arg.(
     value & opt string "./xia-data"
@@ -411,6 +490,12 @@ let cmds =
     Cmd.v
       (Cmd.info "whatif" ~doc:"Evaluate a user-supplied index configuration (what-if).")
       whatif_term;
+    Cmd.v
+      (Cmd.info "eval"
+         ~doc:
+           "Score every search algorithm against the exhaustive optimum \
+            (regret) and the executor (predicted vs actual benefit).")
+      eval_term;
     Cmd.v
       (Cmd.info "generate" ~doc:"Write benchmark data to directories of XML files.")
       generate_term;

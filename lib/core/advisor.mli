@@ -41,9 +41,12 @@ val compress_threshold : int
     [domains] bounds the parallel what-if fan-out (default
     [Par.default_domains ()]); the recommendation is identical for every
     value.  [compress] forces workload compression on or off; unset, it
-    turns on at {!compress_threshold} statements. *)
+    turns on at {!compress_threshold} statements.  [prune] (default true) is
+    forwarded to the prunable searches; recommendations are identical either
+    way — only the optimizer-call count changes. *)
 val advise :
   ?beta:float ->
+  ?prune:bool ->
   ?domains:int ->
   ?compress:bool ->
   Catalog.t ->
@@ -65,7 +68,7 @@ val create_session :
   ?domains:int -> ?compress:bool -> Catalog.t -> Workload.t -> session
 
 val session_advise :
-  ?beta:float -> session -> budget:int -> algorithm -> recommendation
+  ?beta:float -> ?prune:bool -> session -> budget:int -> algorithm -> recommendation
 
 (** Estimated (optimizer) cost of a workload under a virtual configuration. *)
 val estimated_workload_cost :

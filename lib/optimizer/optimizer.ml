@@ -69,6 +69,20 @@ let visible_indexes ?virtual_config catalog mode table =
       in
       List.map (fun d -> (d, true)) defs
 
+(* Cost-model perturbation knob for the recommendation-quality evaluation
+   harness (lib/eval): every index-plan cost (single scan, index OR, index
+   AND) is multiplied by this factor before it competes with the document
+   scan.  At the default 1.0 the multiplication is a bitwise no-op
+   (IEEE-754: x *. 1.0 = x for every finite x), so plans, costs and every
+   committed fixture are unaffected; a large factor makes index plans lose
+   every cost comparison, which collapses recommendations to the empty
+   configuration — the deliberate quality regression tools/eval_ratchet.sh
+   must catch.  Atomic for D001; read on the what-if path, written only by
+   the eval CLI before any evaluator exists. *)
+let index_cost_factor = Atomic.make 1.0
+
+let perturbed cost = cost *. Atomic.get index_cost_factor
+
 (* Index matching: can this index serve this access?  Same table, same data
    type, and the index pattern covers the access pattern. *)
 let index_matches (def : Index_def.t) (access : Rewriter.access) =
@@ -129,7 +143,7 @@ let fetch_and_verify_cost tstats nfilters docs =
 let index_scan_cost tstats (info : Rewriter.binding_info) choice =
   let nfilters = predicate_count info in
   let lookup, docs_fetched, _frac = index_scan_parts tstats choice in
-  lookup +. fetch_and_verify_cost tstats nfilters docs_fetched
+  perturbed (lookup +. fetch_and_verify_cost tstats nfilters docs_fetched)
 
 (* OR filter served by one index per disjunct: union of the probes. *)
 let index_or_cost tstats (info : Rewriter.binding_info) choices =
@@ -143,7 +157,7 @@ let index_or_cost tstats (info : Rewriter.binding_info) choices =
       (0.0, 0.0) choices
   in
   let docs_union = Float.min docs_cap docs_union in
-  lookups +. fetch_and_verify_cost tstats nfilters docs_union
+  perturbed (lookups +. fetch_and_verify_cost tstats nfilters docs_union)
 
 let index_and_cost tstats (info : Rewriter.binding_info) choices =
   let nfilters = predicate_count info in
@@ -156,7 +170,7 @@ let index_and_cost tstats (info : Rewriter.binding_info) choices =
       (0.0, 0.0, 1.0) choices
   in
   let inter_docs = docs *. inter_frac in
-  lookups +. rid_cpu +. fetch_and_verify_cost tstats nfilters inter_docs
+  perturbed (lookups +. rid_cpu +. fetch_and_verify_cost tstats nfilters inter_docs)
 
 (* Result-size estimate, independent of the access path. *)
 let est_result_docs tstats (info : Rewriter.binding_info) =

@@ -30,6 +30,15 @@ val counters : counters
 
 val reset_counters : unit -> unit
 
+(** Cost-model perturbation knob for the quality-evaluation harness
+    ([lib/eval]): every index-plan cost is multiplied by this factor before
+    competing with the document scan.  The default [1.0] is a bitwise no-op;
+    a large factor makes index plans lose every comparison, collapsing
+    recommendations to the empty configuration — the deliberate regression
+    [tools/eval_ratchet.sh] must catch.  Test/eval-only: never set it in
+    production paths. *)
+val index_cost_factor : float Atomic.t
+
 (** Index matching: can [def] serve [access]?  Same table and data type, and
     the index pattern covers the access pattern. *)
 val index_matches : Index_def.t -> Xia_query.Rewriter.access -> bool

@@ -6,9 +6,12 @@
    trace mode scrubs "ts" and "dur" (wall-clock position and duration of
    every span); metrics mode scrubs "sum_us" and the per-bucket "n" tallies
    of histograms (latency-dependent), keeping counter values and histogram
-   "count" fields, which are deterministic at --domains 1.
+   "count" fields, which are deterministic at --domains 1; eval mode scrubs
+   the per-case "elapsed" seconds of the quality-evaluation report, whose
+   every other number (regret, ranks, call counts, spearman) is
+   deterministic.
 
-   Usage: scrub_obs (trace|metrics) FILE *)
+   Usage: scrub_obs (trace|metrics|eval) FILE *)
 
 let is_number_char = function
   | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
@@ -40,7 +43,7 @@ let scrub_field field line =
 
 let () =
   let usage () =
-    prerr_endline "usage: scrub_obs (trace|metrics) FILE";
+    prerr_endline "usage: scrub_obs (trace|metrics|eval) FILE";
     exit 2
   in
   if Array.length Sys.argv <> 3 then usage ();
@@ -48,6 +51,7 @@ let () =
     match Sys.argv.(1) with
     | "trace" -> [ "ts"; "dur" ]
     | "metrics" -> [ "sum_us"; "n" ]
+    | "eval" -> [ "elapsed" ]
     | _ -> usage ()
   in
   let ic = open_in Sys.argv.(2) in

@@ -240,7 +240,66 @@ let summary_tests =
   List.map differential_case differential_fixtures
   @ [ synthetic_differential; bounded_regret ]
 
-let prune_tests = List.map prune_case prune_fixtures @ [ pruned_counter_fires ]
+(* The eval harness's prune plumbing: quality scores are bit-identical with
+   pruning on and off — only per-algorithm optimizer-call counts may
+   differ.  Extends the search-level prune twins above to the whole
+   regret/validation pipeline (and, via Advisor.run_search, covers the new
+   ?prune plumbing on the advisor API). *)
+let prune_eval_path =
+  tc "eval path: prune on = prune off (regret bit-for-bit)" (fun () ->
+      let module Eval = Xia_eval.Eval in
+      let spec =
+        List.filter (fun s -> s.Eval.s_name = "tpox-small") Eval.default_specs
+      in
+      let run prune = Eval.run ~domains:1 ~prune ~small:true spec in
+      let on = run true and off = run false in
+      List.iter2
+        (fun (a : Eval.case_result) (b : Eval.case_result) ->
+          Alcotest.(check string) "case" a.Eval.r_case b.Eval.r_case;
+          Alcotest.(check bool)
+            "spearman" true
+            (Float.equal a.Eval.r_spearman b.Eval.r_spearman);
+          List.iter2
+            (fun (x : Eval.entry) (y : Eval.entry) ->
+              let label =
+                Printf.sprintf "%s/%.2f/%s" x.Eval.e_case x.Eval.e_frac
+                  x.Eval.e_algorithm
+              in
+              Alcotest.(check string) (label ^ " alg") x.Eval.e_algorithm
+                y.Eval.e_algorithm;
+              Alcotest.(check bool)
+                (label ^ " regret") true
+                (Float.equal x.Eval.e_regret y.Eval.e_regret);
+              Alcotest.(check bool)
+                (label ^ " benefit") true
+                (Float.equal x.Eval.e_benefit y.Eval.e_benefit);
+              Alcotest.(check int) (label ^ " rank") x.Eval.e_rank y.Eval.e_rank)
+            a.Eval.r_entries b.Eval.r_entries)
+        on off)
+
+(* ?prune on the one-shot advisor API: pruned and unpruned twins recommend
+   identical indexes, and prune:false really probes everything. *)
+let prune_advise_api =
+  tc "Advisor.advise ?prune twins agree" (fun () ->
+      let catalog = Lazy.force Helpers.shared_catalog in
+      let wl = Xia_workload.Tpox.workload () in
+      let budget = 256 * 1024 in
+      List.iter
+        (fun alg ->
+          let run prune =
+            A.advise ~prune ~domains:1 ~compress:false catalog wl ~budget alg
+          in
+          let on = run true and off = run false in
+          Alcotest.(check (list string))
+            (A.algorithm_name alg ^ " indexes") (defs_of off) (defs_of on);
+          Alcotest.(check int)
+            (A.algorithm_name alg ^ " off pruned nothing") 0
+            off.A.outcome.S.pruned)
+        [ A.Greedy; A.Top_down_lite; A.Top_down_full ])
+
+let prune_tests =
+  List.map prune_case prune_fixtures
+  @ [ pruned_counter_fires; prune_eval_path; prune_advise_api ]
 
 let suites =
   [

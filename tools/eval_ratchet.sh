@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# Recommendation-quality ratchet: regret against the exhaustive optimum must
+# never fall, the search's optimizer-call counts must never rise, and the
+# predicted-vs-actual correlation (executor validation) must never fall.
+#
+# Re-runs `xia_advise eval --small` in a scratch directory (so the committed
+# EVAL_advisor.json is never clobbered), extracts per-(case x budget x
+# algorithm) regret / optimizer_calls / ratio and the per-case spearman from
+# the fresh JSON, and compares against the committed eval.baseline (one
+# "key metric value" triple per line, '#' comments allowed; keys are
+# case:frac:algorithm, or just the case name for spearman).
+#
+# Every ratcheted number is deterministic (ground truth is the exhaustive
+# optimum under the unperturbed cost model; "actual" is the executor's
+# simulated cost, not wall-clock), so any regret or spearman decrease and
+# any call-count increase fails hard.  Additionally every predicted/actual
+# ratio must sit inside a sanity band [RATIO_MIN, RATIO_MAX]: the cost model
+# may be scaled arbitrarily relative to the executor, but a drift of the
+# RATIO outside the band means the model's ranking power is suspect.
+#
+#   dune build @eval-ratchet        via the build (sandboxed source copy)
+#   ./tools/eval_ratchet.sh         standalone from a checkout
+#
+# XIA_EVAL_PERTURB (default 1) is forwarded to `eval --perturb`: it
+# multiplies every index-plan cost during the search phase while ground
+# truth stays unperturbed, so a large factor collapses recommendations and
+# the ratchet MUST fail — the harness's own negative test
+# (test/dune's eval_ratchet_perturb rule) relies on that.
+#
+# Re-baseline — after a deliberate cost-model or search change (run
+# standalone, not through dune, so the files land in the checkout):
+#   ./tools/eval_ratchet.sh --write-baseline
+# This regenerates BOTH eval.baseline and the committed EVAL_advisor.json
+# from one fresh run, so the two can never drift apart.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RATIO_MIN="${RATIO_MIN:-0.25}"
+RATIO_MAX="${RATIO_MAX:-4.0}"
+PERTURB="${XIA_EVAL_PERTURB:-1}"
+
+mode=check
+exe=""
+for arg in "$@"; do
+  case "$arg" in
+    --write-baseline) mode=write ;;
+    *) exe="$arg" ;;
+  esac
+done
+
+if [ -z "$exe" ]; then
+  exe=_build/default/bin/xia_advise.exe
+  if [ ! -x "$exe" ]; then
+    dune build bin/xia_advise.exe
+  fi
+fi
+exe=$(realpath "$exe")
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && "$exe" eval --small --perturb "$PERTURB" \
+  --json EVAL_advisor.json >eval.log 2>&1) || {
+  echo "eval-ratchet: eval run failed:" >&2
+  cat "$scratch/eval.log" >&2
+  exit 2
+}
+fresh="$scratch/EVAL_advisor.json"
+if [ ! -f "$fresh" ]; then
+  echo "eval-ratchet: eval run produced no EVAL_advisor.json" >&2
+  exit 2
+fi
+
+# One entry object per line, compact "name":value fields (no space).  Entry
+# lines carry "algorithm"; case-header lines carry "spearman".
+metrics_of() {
+  awk '
+    function field(name,    v, pat) {
+      pat = "\"" name "\":"
+      if (index($0, pat) == 0) return ""
+      v = $0; sub(".*" pat, "", v); sub(/^"/, "", v); sub(/[",}].*/, "", v)
+      return v
+    }
+    field("algorithm") != "" {
+      key = field("case") ":" field("frac") ":" field("algorithm")
+      print key, "regret", field("regret")
+      print key, "calls", field("optimizer_calls")
+      print key, "ratio", field("ratio")
+      next
+    }
+    field("spearman") != "" {
+      print field("case"), "spearman", field("spearman")
+    }' "$1"
+}
+
+fresh_metrics=$(metrics_of "$fresh")
+
+if [ "$mode" = write ]; then
+  {
+    echo "# Recommendation-quality ratchet baseline: per-(case x budget x"
+    echo "# algorithm) regret vs the exhaustive optimum, search optimizer-call"
+    echo "# counts, predicted/actual ratios, and per-case Spearman correlation"
+    echo "# of predicted vs executed benefit.  Checked by tools/eval_ratchet.sh;"
+    echo "# regenerate (together with the committed EVAL_advisor.json) via"
+    echo "# ./tools/eval_ratchet.sh --write-baseline"
+    printf '%s\n' "$fresh_metrics"
+  } >eval.baseline
+  cp "$fresh" EVAL_advisor.json
+  echo "eval-ratchet: wrote eval.baseline and EVAL_advisor.json"
+  exit 0
+fi
+
+if [ ! -f eval.baseline ]; then
+  echo "eval-ratchet: eval.baseline missing; create it with ./tools/eval_ratchet.sh --write-baseline" >&2
+  exit 2
+fi
+
+baseline_of() {
+  awk -v key="$1" -v metric="$2" '$1 == key && $2 == metric { print $3 }' eval.baseline
+}
+
+fail=0
+while read -r key metric value; do
+  [ -z "$key" ] && continue
+  if [ "$metric" = ratio ]; then
+    # Sanity band, not a ratchet: -1 marks "no measurable improvement".
+    if awk -v v="$value" -v lo="$RATIO_MIN" -v hi="$RATIO_MAX" \
+        'BEGIN { exit !(v != -1 && (v < lo || v > hi)) }'; then
+      echo "eval-ratchet: $key predicted/actual ratio $value outside sanity band [$RATIO_MIN, $RATIO_MAX]" >&2
+      fail=1
+    fi
+    continue
+  fi
+  base=$(baseline_of "$key" "$metric")
+  if [ -z "$base" ]; then
+    echo "eval-ratchet: $key.$metric not in baseline — re-baseline with ./tools/eval_ratchet.sh --write-baseline" >&2
+    fail=1
+    continue
+  fi
+  case "$metric" in
+    regret|spearman)
+      if awk -v v="$value" -v b="$base" 'BEGIN { exit !(v < b) }'; then
+        echo "eval-ratchet: $key $metric regressed: $value vs baseline $base" >&2
+        fail=1
+      elif awk -v v="$value" -v b="$base" 'BEGIN { exit !(v > b) }'; then
+        echo "eval-ratchet: $key $metric improved: $value vs baseline $base — tighten with ./tools/eval_ratchet.sh --write-baseline"
+      fi
+      ;;
+    calls)
+      if [ "$value" -gt "$base" ]; then
+        echo "eval-ratchet: $key optimizer calls regressed: $value, baseline $base" >&2
+        fail=1
+      elif [ "$value" -lt "$base" ]; then
+        echo "eval-ratchet: $key optimizer calls improved: $value, baseline $base — tighten with ./tools/eval_ratchet.sh --write-baseline"
+      fi
+      ;;
+  esac
+done <<<"$fresh_metrics"
+
+if [ "$fail" -ne 0 ]; then
+  {
+    echo "eval-ratchet: recommendation quality below baseline.  Either fix"
+    echo "eval-ratchet: the regression, or — if the cost-model or search"
+    echo "eval-ratchet: change is deliberate — re-baseline and commit:"
+    echo "eval-ratchet:   ./tools/eval_ratchet.sh --write-baseline && git add eval.baseline EVAL_advisor.json"
+  } >&2
+  exit 1
+fi
+echo "eval-ratchet: OK (regret and spearman at or above baseline, calls at or below, ratios in band)"
