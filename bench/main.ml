@@ -417,13 +417,13 @@ let hist () =
       let est flag =
         let saved = Atomic.get Xia_optimizer.Selectivity.use_histograms in
         Atomic.set Xia_optimizer.Selectivity.use_histograms flag;
-        let r =
-          match (Optimizer.optimize catalog stmt).Xia_optimizer.Plan.bindings with
-          | [ b ] -> b.Xia_optimizer.Plan.est_docs
-          | _ -> 0.0
-        in
-        Atomic.set Xia_optimizer.Selectivity.use_histograms saved;
-        r
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set Xia_optimizer.Selectivity.use_histograms saved)
+          (fun () ->
+            match (Optimizer.optimize catalog stmt).Xia_optimizer.Plan.bindings with
+            | [ b ] -> b.Xia_optimizer.Plan.est_docs
+            | _ -> 0.0)
       in
       Format.printf "%14s | %10d | %12.0f | %12.0f@." label truth (est true) (est false))
     [
@@ -775,6 +775,19 @@ let micro () =
        Test.make ~name:"lint.effects"
          (Staged.stage (fun () ->
               ignore (Xia_analysis.Lint.effects_dump [ lint_dir ]))));
+      (* The flow-sensitive L/X-series alone: parse every unit, build the
+         call graph and effect summaries, then per-binding CFG construction
+         (exceptional edges, Fun.protect inlining) plus the can-raise and
+         optimizer-reachability fixpoints and the worklist solve.  The
+         absolute budget in bench.baseline keeps whole-program dataflow
+         cheap enough to stay in the default @lint alias. *)
+      (let lint_dir =
+         List.find_opt Sys.file_exists [ "lib"; "../lib"; "../../lib" ]
+         |> Option.value ~default:"lib"
+       in
+       Test.make ~name:"lint.dataflow"
+         (Staged.stage (fun () ->
+              ignore (Xia_analysis.Lint.dataflow_findings [ lint_dir ]))));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in

@@ -1,6 +1,7 @@
 (* xia_lint — domain-safety and hygiene analyzer for this repository.
 
    Usage: xia_lint [--json] [--allow-file FILE] [--whatif-modules a,b]
+                   [--only ID[,ID...]] [--skip ID[,ID...]]
                    [--callgraph] [--effects] [--explain ID] PATH...
 
    Lints every .ml under the given paths (default: lib) as one program: the
@@ -10,7 +11,9 @@
    Xia_analysis.Races runs over the shared graph and summaries.
    --callgraph prints the graph as Graphviz DOT instead of linting;
    --effects prints the per-binding effect summaries; --explain ID prints
-   one check's documentation.
+   one check's documentation.  --only/--skip filter the catalog (stable
+   intersection, reflected in the JSON envelope's "checks" array) so the
+   ratchet scripts and local runs can target one check cheaply.
    Exit codes: 0 clean, 1 findings, 2 usage/parse/allow-file errors. *)
 
 module Lint = Xia_analysis.Lint
@@ -25,6 +28,8 @@ let () =
   let explain = ref "" in
   let allow_file = ref "" in
   let whatif = ref "" in
+  let only = ref "" in
+  let skip = ref "" in
   let paths = ref [] in
   let spec =
     [
@@ -45,11 +50,17 @@ let () =
         Arg.Set_string whatif,
         "NAMES comma-separated module basenames subject to D003 (default: \
          benefit,optimizer)" );
+      ( "--only",
+        Arg.Set_string only,
+        "IDS run only these comma-separated check IDs" );
+      ( "--skip",
+        Arg.Set_string skip,
+        "IDS run every check except these comma-separated IDs" );
     ]
   in
   let usage =
-    "xia_lint [--json] [--allow-file FILE] [--callgraph] [--effects] [--explain \
-     ID] PATH..."
+    "xia_lint [--json] [--allow-file FILE] [--only IDS] [--skip IDS] \
+     [--callgraph] [--effects] [--explain ID] PATH..."
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   if !explain <> "" then begin
@@ -99,6 +110,20 @@ let () =
           List.iter (Printf.eprintf "xia_lint: %s\n") msgs;
           exit 2
   in
+  let split_ids s =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let selected =
+    if !only = "" && !skip = "" then None
+    else
+      match Checks.select ~only:(split_ids !only) ~skip:(split_ids !skip) with
+      | Ok ids -> Some ids
+      | Error msg ->
+          Printf.eprintf "xia_lint: %s\n" msg;
+          exit 2
+  in
   let report = Lint.lint_paths ~config ~allow paths in
   if report.Lint.errors <> [] then begin
     List.iter
@@ -106,7 +131,18 @@ let () =
       report.Lint.errors;
     exit 2
   end;
-  if !json then print_string (Lint.report_to_json report)
+  let report =
+    match selected with
+    | None -> report
+    | Some ids ->
+        let keep (f : Finding.t) = List.mem f.Finding.id ids in
+        {
+          report with
+          Lint.findings = List.filter keep report.Lint.findings;
+          Lint.suppressed = List.filter keep report.Lint.suppressed;
+        }
+  in
+  if !json then print_string (Lint.report_to_json ?only:selected report)
   else begin
     List.iter (fun f -> print_endline (Finding.to_string f)) report.Lint.findings;
     if report.Lint.findings <> [] then

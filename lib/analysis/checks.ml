@@ -446,6 +446,32 @@ let catalog =
          unhandled one.";
     };
     {
+      id = "L001";
+      title = "blocking call while a mutex is held";
+      detail =
+        "A call with a blocking effect — PerformsIO per the interprocedural \
+         effect summaries, or an Optimizer.optimize* entry (transitively) — \
+         is reachable while a mutex is statically held on some path of the \
+         flow-sensitive CFG.  IO and optimizer latency under a lock \
+         serializes every domain contending on it.  Move the call outside \
+         the critical section, or suppress at the call site when the \
+         blocking work is the critical section's purpose.";
+    };
+    {
+      id = "L002";
+      title = "mutex not released on an exceptional path";
+      detail =
+        "A Mutex.lock has an exceptional path to the function exit — raise, \
+         failwith, assert, or a call that may raise — on which no \
+         Mutex.unlock runs: the next contender deadlocks.  Wrap the \
+         critical section in Fun.protect ~finally:(fun () -> Mutex.unlock \
+         m).  The analysis is flow-sensitive: a body made only of \
+         known-total primitives (Mutex/Condition/Atomic operations, !/:=, \
+         comparisons, non-dividing arithmetic) has no exceptional edge and \
+         needs no finalizer; any container operation or unresolved call is \
+         assumed to raise.";
+    };
+    {
       id = "N001";
       title = "hash iteration order escapes into a result";
       detail =
@@ -501,6 +527,51 @@ let catalog =
          the set loses concurrent updates.  Use Atomic.fetch_and_add, \
          Atomic.incr, or a compare_and_set retry loop.";
     };
+    {
+      id = "X001";
+      title = "save/restore skipped on an exceptional path";
+      detail =
+        "A saved value — let old = Atomic.get x, let old = !r, or let old = \
+         Catalog.virtual_indexes c — with a syntactically matching restore \
+         (Atomic.set x old / r := old / Catalog.set_virtual_indexes c old) \
+         later in the same scope is not restored on some exceptional path, \
+         leaking stale state to the next caller.  Perform the restore in a \
+         Fun.protect ~finally.  Bindings with no matching restore anywhere \
+         create no obligation: reading state without restoring it is not \
+         the save/restore idiom.";
+    };
+    {
+      id = "X002";
+      title = "unlock without a matching lock on this path";
+      detail =
+        "Mutex.unlock runs at a point where the mutex is statically not \
+         held: a double unlock, or an unlock only some branch pairs with a \
+         lock.  Stdlib mutexes raise Sys_error on releasing an unlocked \
+         mutex.  Unlocks at an unknown entry state (release helpers called \
+         with the lock held) stay silent.";
+    };
   ]
 
 let find_check id = List.find_opt (fun c -> String.equal c.id id) catalog
+
+(* Stable check-filter used by xia_lint's --only/--skip: intersect the
+   requested IDs with the catalog, preserving catalog order; unknown IDs
+   are an error (a typo must not silently run everything). *)
+let select ~only ~skip =
+  let known = List.map (fun c -> c.id) catalog in
+  let unknown =
+    List.filter (fun id -> not (List.mem id known)) (only @ skip)
+  in
+  match unknown with
+  | _ :: _ ->
+      Error
+        (Printf.sprintf "unknown check id%s: %s (known: %s)"
+           (if List.length unknown > 1 then "s" else "")
+           (String.concat ", " unknown)
+           (String.concat ", " known))
+  | [] ->
+      Ok
+        (List.filter
+           (fun id ->
+             (only = [] || List.mem id only) && not (List.mem id skip))
+           known)

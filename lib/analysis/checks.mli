@@ -24,6 +24,19 @@
     - [R001]/[R002]/[R003] the domain-race series and [N002] (order-fragile
       parallel float reduction); implemented in {!Races}.
 
+    Flow-sensitive checks (a forward may-analysis over an intraprocedural
+    CFG with explicit exceptional edges; implemented in {!Dataflow},
+    semantics in DESIGN.md §5k):
+
+    - [L001] blocking effect ([PerformsIO] or an [Optimizer.optimize*]
+      entry) reachable while a mutex is held.
+    - [L002] mutex acquired with an exceptional path to exit that never
+      unlocks it (bare lock/unlock pairs not wrapped in a
+      [Fun.protect]-style finalizer).
+    - [X001] save/restore idiom whose restore is skipped on some
+      exceptional path.
+    - [X002] double unlock / unlock-without-lock on some path.
+
     Identifier references are matched on [Longident] paths after
     module-alias expansion through the graph; full name resolution
     (shadowing, functors, first-class modules) is out of scope.  Suppress
@@ -91,3 +104,9 @@ type check_info = {
 val catalog : check_info list
 
 val find_check : string -> check_info option
+
+(** [select ~only ~skip] — the check IDs to run, in catalog order: the
+    catalog intersected with [only] (everything when empty) minus [skip].
+    Any ID unknown to the catalog is an error. *)
+val select :
+  only:string list -> skip:string list -> (string list, string) result

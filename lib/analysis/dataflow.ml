@@ -1,0 +1,976 @@
+(* Flow-sensitive lock-discipline and exception-safety analysis: the
+   L/X-series.  An intraprocedural CFG over Parsetree expressions with
+   explicit exceptional edges, and a forward may-analysis over a small
+   product lattice:
+
+     per-mutex lock state  (Unknown | NotHeld | Held provs | Mixed provs)
+   × pending save/restore obligations on Atomic.t / ref / catalog
+     virtual state
+
+   Mutexes are identified nominally, like R002: the symbolic path of the
+   lock expression ("pool.lock", "shard.lock").  Each toplevel binding and
+   each closure body is a separate analysis root entered with an Unknown
+   lockset — held-ness does not flow through calls (documented
+   incompleteness; DESIGN.md §5k).
+
+   Exceptional edges:
+   - [raise]/[failwith]/[invalid_arg]/[assert] divert to the current
+     handler (the enclosing [try]'s handler node, or the root's
+     exceptional exit).
+   - A call may raise unless it is in a closed whitelist of known-total
+     primitives (Mutex/Condition/Atomic operations, [!]/[:=], comparison
+     and integer/float arithmetic except [/] and [mod]) or every resolved
+     target's can-raise summary — a per-binding syntactic fixpoint over
+     the call graph — is clear.  Unresolved calls (stdlib containers,
+     local closures, computed heads) are assumed to raise: Hashtbl/Queue
+     bodies under a lock need a finalizer, and that is the point.
+   - [try]/[match]-with-[exception] handlers catch the body's exceptional
+     edge and re-join; without a catch-all pattern the exception also
+     propagates outward.
+   - [Fun.protect ~finally:F B] is inlined: B's exceptional edge runs a
+     copy of F's body and then re-raises; the normal edge runs F's body
+     too.  Literal thunks are walked in place (so a finalizer's
+     [Mutex.unlock]/restore discharges the obligation in this CFG);
+     opaque arguments degrade to may-raise calls routed through the
+     finalizer on both edges.
+
+   The checks:
+   - L001  a Blocking event (PerformsIO per the Effects summaries, or an
+           Optimizer.optimize* entry, transitively) while any mutex is
+           may-held.
+   - L002  at the root's exceptional exit, a mutex is still may-held:
+           reported once per contributing lock site.
+   - X001  at the root's exceptional exit, a save/restore obligation is
+           still pending: reported at the save binding.  An obligation is
+           only created when a syntactically matching restore exists
+           somewhere in the same root, so lock-passing/value-moving code
+           does not fire.
+   - X002  [Mutex.unlock] at a state where the mutex is statically
+           NotHeld (double unlock / unlock-without-lock).  Unknown and
+           Mixed states stay silent: entry-state unlock helpers and
+           may-paths are not reportable.
+
+   Suppression is captured at CFG build time from the enclosing
+   [@lint.allow "ID"] attribute stack, at the site each finding anchors
+   to. *)
+
+open Parsetree
+
+let has_suffix = Effects.has_suffix
+let active stack id = List.exists (List.mem id) stack
+
+(* Symbolic identity of a lock/atomic expression, mirroring R002. *)
+let rec sym (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident lid -> Some (String.concat "." (Longident.flatten lid.txt))
+  | Pexp_field (b, lid) -> (
+      match sym b with
+      | Some s -> (
+          match List.rev (Longident.flatten lid.txt) with
+          | f :: _ -> Some (s ^ "." ^ f)
+          | [] -> None)
+      | None -> None)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> sym e
+  | _ -> None
+
+let rec ident_name (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> ident_name e
+  | _ -> None
+
+let first_nolabel args =
+  List.find_map
+    (fun (l, a) -> match l with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let nolabel_args args =
+  List.filter_map
+    (fun (l, a) -> match l with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+(* ----------------------------------------------- raise classification -- *)
+
+(* Calls that unconditionally raise. *)
+let raiser path =
+  match path with
+  | [ x ] | [ "Stdlib"; x ] ->
+      List.mem x [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+  | _ -> false
+
+(* The closed whitelist of known-total primitives.  Deliberately minimal:
+   container operations (Hashtbl/Queue/List/Array) are NOT here even when
+   individually total, because the analysis treats everything outside this
+   set as arbitrary code — a critical section made only of entries below
+   provably needs no finalizer, anything else does.  [/] and [mod] raise
+   Division_by_zero and stay out. *)
+let total_idents =
+  [
+    "!"; ":="; "~-"; "~-."; "~+"; "~+."; "not"; "ignore"; "ref"; "incr";
+    "decr"; "fst"; "snd"; "succ"; "pred"; "min"; "max"; "abs"; "compare";
+    "+"; "-"; "*"; "+."; "-."; "*."; "/."; "="; "<>"; "<"; ">"; "<="; ">=";
+    "=="; "!="; "^"; "&&"; "||"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "float_of_int"; "int_of_float"; "truncate"; "string_of_int";
+    "string_of_float"; "string_of_bool";
+  ]
+
+let total_suffixes =
+  [
+    [ "Mutex"; "lock" ]; [ "Mutex"; "unlock" ]; [ "Mutex"; "try_lock" ];
+    [ "Condition"; "wait" ]; [ "Condition"; "signal" ];
+    [ "Condition"; "broadcast" ];
+    [ "Atomic"; "get" ]; [ "Atomic"; "set" ]; [ "Atomic"; "make" ];
+    [ "Atomic"; "incr" ]; [ "Atomic"; "decr" ]; [ "Atomic"; "fetch_and_add" ];
+    [ "Atomic"; "compare_and_set" ]; [ "Atomic"; "exchange" ];
+  ]
+
+let never_raises path =
+  (match path with
+  | [ x ] | [ "Stdlib"; x ] -> List.mem x total_idents
+  | _ -> false)
+  || List.exists (fun suffix -> has_suffix ~suffix path) total_suffixes
+
+let catch_all_pat p =
+  let rec all p =
+    match p.ppat_desc with
+    | Ppat_any | Ppat_var _ -> true
+    | Ppat_alias (p, _) | Ppat_constraint (p, _) -> all p
+    | Ppat_or (a, b) -> all a || all b
+    | _ -> false
+  in
+  all p
+
+(* A [try] case that catches every exception. *)
+let catch_all_case (c : case) = c.pc_guard = None && catch_all_pat c.pc_lhs
+
+(* A [match]-with-[exception] case that catches every exception. *)
+let exc_catch_all (c : case) =
+  c.pc_guard = None
+  &&
+  match c.pc_lhs.ppat_desc with
+  | Ppat_exception p -> catch_all_pat p
+  | _ -> false
+
+(* Apply [f] to every immediate child expression of [e], in syntactic
+   order (the standard one-level Ast_iterator trick). *)
+let iter_child_exprs f e =
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ c -> f c) }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+(* Per-binding can-raise fixpoint: a syntactic walk of each body modelling
+   [try]-with-catch-all, deferring closure bodies, and resolving calls
+   through the graph; iterated until no summary flips.  Unresolved calls
+   are assumed to raise. *)
+let compute_raises graph =
+  let nodes = Callgraph.nodes graph in
+  let tbl : (string * string, bool) Hashtbl.t =
+    Hashtbl.create (2 * List.length nodes)
+  in
+  List.iter (fun n -> Hashtbl.replace tbl (Callgraph.key n) false) nodes;
+  let call_raises u path =
+    if raiser path then true
+    else if never_raises path then false
+    else
+      match Callgraph.resolve graph u path with
+      | [] -> true
+      | targets ->
+          List.exists
+            (fun t ->
+              match Hashtbl.find_opt tbl (Callgraph.key t) with
+              | Some b -> b
+              | None -> true)
+            targets
+  in
+  let rec raises u e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ | Pexp_newtype _ -> false
+    | Pexp_ident _ | Pexp_constant _ -> false
+    | Pexp_assert _ -> true
+    | Pexp_try (b, cases) ->
+        let in_cases =
+          List.exists
+            (fun c ->
+              (match c.pc_guard with Some g -> raises u g | None -> false)
+              || raises u c.pc_rhs)
+            cases
+        in
+        if List.exists catch_all_case cases then in_cases
+        else raises u b || in_cases
+    | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) ->
+        List.exists (fun (_, a) -> raises u a) args
+        || call_raises u (Longident.flatten lid.txt)
+    | Pexp_apply (_, _) -> true (* computed callee *)
+    | _ ->
+        let acc = ref false in
+        iter_child_exprs (fun c -> if raises u c then acc := true) e;
+        !acc
+  in
+  let rec body_of e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, b) | Pexp_newtype (_, b) -> body_of b
+    | Pexp_constraint (b, _) | Pexp_coerce (b, _, _) -> body_of b
+    | _ -> e
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n : Callgraph.node) ->
+        let k = Callgraph.key n in
+        if not (Hashtbl.find tbl k) then begin
+          let b = body_of n.Callgraph.expr in
+          let r =
+            match b.pexp_desc with
+            | Pexp_function cases ->
+                List.exists
+                  (fun c ->
+                    (match c.pc_guard with
+                    | Some g -> raises n.Callgraph.u g
+                    | None -> false)
+                    || raises n.Callgraph.u c.pc_rhs)
+                  cases
+            | _ -> raises n.Callgraph.u b
+          in
+          if r then begin
+            Hashtbl.replace tbl k true;
+            changed := true
+          end
+        end)
+      nodes
+  done;
+  tbl
+
+(* --------------------------------------------- blocking classification -- *)
+
+let starts_with_optimize s =
+  String.length s >= 8 && String.sub s 0 8 = "optimize"
+
+(* An alias-expanded reference to Optimizer.optimize*. *)
+let optimizer_entry_path expanded =
+  match List.rev expanded with
+  | last :: "Optimizer" :: _ when starts_with_optimize last -> true
+  | _ -> false
+
+let optimizer_entry_node (n : Callgraph.node) =
+  n.Callgraph.u.Callgraph.basename = "optimizer"
+  && starts_with_optimize n.Callgraph.name
+
+(* Transitive optimizer reach: a binding is blocking if it is an
+   optimize* entry of the optimizer unit or calls (per the resolved
+   Effects call lists) a binding that is. *)
+let compute_opt_reach graph eff =
+  let nodes = Callgraph.nodes graph in
+  let tbl : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n -> if optimizer_entry_node n then Hashtbl.replace tbl (Callgraph.key n) ())
+    nodes;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        let k = Callgraph.key n in
+        if
+          (not (Hashtbl.mem tbl k))
+          && List.exists
+               (fun t -> Hashtbl.mem tbl (Callgraph.key t))
+               (Effects.calls eff n)
+        then begin
+          Hashtbl.replace tbl k ();
+          changed := true
+        end)
+      nodes
+  done;
+  tbl
+
+(* ----------------------------------------------------- CFG construction -- *)
+
+type obligation = {
+  o_sym : string;   (* symbolic target: "enabled", "c" *)
+  o_var : string;   (* the binder holding the saved value *)
+  o_what : string;  (* display: "Atomic.get enabled" *)
+  o_loc : Location.t;
+  o_sup : bool;     (* X001-suppressed at the save site *)
+}
+
+type ev =
+  | Nop
+  | Lock of { lsym : string; lloc : Location.t; lsup : bool }
+  | Unlock of { usym : string; uloc : Location.t; usup : bool }
+  | Blocking of { bwhat : string; bloc : Location.t; bsup : bool }
+  | Save of obligation
+  | Restore of { rsym : string; rvar : string }
+
+type cfg = {
+  mutable n : int;
+  mutable evs : ev list;          (* reversed *)
+  mutable edges : (int * int) list;
+}
+
+type pending = {
+  p_u : Callgraph.unit_info;
+  p_expr : expression;
+  p_stack : string list list;     (* attribute stack snapshot *)
+}
+
+type ctx = {
+  g : cfg;
+  graph : Callgraph.t;
+  eff : Effects.t;
+  u : Callgraph.unit_info;
+  raise_tbl : (string * string, bool) Hashtbl.t;
+  opt_tbl : (string * string, unit) Hashtbl.t;
+  restores : (string * string, unit) Hashtbl.t;  (* (sym, var) in this root *)
+  stack : string list list ref;
+  queue : pending Queue.t;        (* closure roots discovered while walking *)
+}
+
+let node ctx ev =
+  let i = ctx.g.n in
+  ctx.g.n <- i + 1;
+  ctx.g.evs <- ev :: ctx.g.evs;
+  i
+
+let edge ctx a b = ctx.g.edges <- (a, b) :: ctx.g.edges
+let enqueue ctx e = Queue.add { p_u = ctx.u; p_expr = e; p_stack = !(ctx.stack) } ctx.queue
+
+(* [fun () -> body] (or any one-argument literal fun): the body, for
+   inlining Fun.protect thunks. *)
+let rec thunk_body e =
+  match e.pexp_desc with
+  | Pexp_fun (Asttypes.Nolabel, None, _, b) -> Some b
+  | Pexp_constraint (e, _) -> thunk_body e
+  | _ -> None
+
+(* Pre-scan one root for syntactic restore sites [(sym, var)]: an
+   obligation is only tracked when a matching restore exists somewhere in
+   the root (closures included — inlined finalizers are the common
+   carrier). *)
+let scan_restores graph (u : Callgraph.unit_info) expr =
+  let tbl : (string * string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let record args =
+    match nolabel_args args with
+    | [ target; value ] -> (
+        match (sym target, ident_name value) with
+        | Some s, Some v -> Hashtbl.replace tbl (s, v) ()
+        | _ -> ())
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) ->
+              let path = Longident.flatten lid.txt in
+              if
+                has_suffix ~suffix:[ "Atomic"; "set" ] path
+                || path = [ ":=" ]
+                || path = [ "Stdlib"; ":=" ]
+                || has_suffix ~suffix:[ "Catalog"; "set_virtual_indexes" ]
+                     (Callgraph.expand graph u path)
+              then record args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it expr;
+  tbl
+
+(* A [let v = <save>] shape: Atomic.get / ! / Catalog.virtual_indexes of a
+   symbolic target. *)
+let save_shape ctx e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) -> (
+      let path = Longident.flatten lid.txt in
+      match Option.bind (first_nolabel args) sym with
+      | None -> None
+      | Some s ->
+          if has_suffix ~suffix:[ "Atomic"; "get" ] path then
+            Some (s, Printf.sprintf "Atomic.get %s" s)
+          else if path = [ "!" ] || path = [ "Stdlib"; "!" ] then
+            Some (s, Printf.sprintf "!%s" s)
+          else if
+            has_suffix ~suffix:[ "Catalog"; "virtual_indexes" ]
+              (Callgraph.expand ctx.graph ctx.u path)
+          then Some (s, Printf.sprintf "Catalog.virtual_indexes %s" s)
+          else None)
+  | _ -> None
+
+(* The matching restore shape: Atomic.set x v / x := v /
+   Catalog.set_virtual_indexes c v where (sym x, v) is a tracked key. *)
+let restore_shape ctx path args =
+  let pair () =
+    match nolabel_args args with
+    | [ target; value ] -> (
+        match (sym target, ident_name value) with
+        | Some s, Some v when Hashtbl.mem ctx.restores (s, v) -> Some (s, v)
+        | _ -> None)
+    | _ -> None
+  in
+  if has_suffix ~suffix:[ "Atomic"; "set" ] path then pair ()
+  else if path = [ ":=" ] || path = [ "Stdlib"; ":=" ] then pair ()
+  else if
+    has_suffix ~suffix:[ "Catalog"; "set_virtual_indexes" ]
+      (Callgraph.expand ctx.graph ctx.u path)
+  then pair ()
+  else None
+
+let rec var_of_pattern p =
+  match p.ppat_desc with
+  | Ppat_var v -> Some v.Asttypes.txt
+  | Ppat_constraint (p, _) -> var_of_pattern p
+  | _ -> None
+
+(* What makes a call site blocking: a direct optimizer entry reference, an
+   unresolved IO builtin, or a resolved target whose summary performs IO /
+   reaches an optimizer entry. *)
+let blocking_of_call ctx path expanded targets =
+  if optimizer_entry_path expanded then
+    Some (String.concat "." path ^ " (optimizer entry)")
+  else
+    match targets with
+    | [] -> Effects.io_of_path path
+    | _ ->
+        List.find_map
+          (fun (t : Callgraph.node) ->
+            if Hashtbl.mem ctx.opt_tbl (Callgraph.key t) then
+              Some (Printf.sprintf "%s reaches an optimizer entry" t.name)
+            else if List.mem Effects.Performs_io (Effects.total_effects ctx.eff t)
+            then Some (Printf.sprintf "%s performs IO" t.name)
+            else None)
+          targets
+
+(* ------------------------------------------------------------ the walk -- *)
+
+(* [walk ctx ~cur ~exc e]: extend the CFG with [e]'s evaluation starting
+   at node [cur]; exceptional control escapes to [exc].  Returns the node
+   reached on normal completion. *)
+let rec walk ctx ~cur ~exc e =
+  ctx.stack := Suppress.allow_ids e.pexp_attributes :: !(ctx.stack);
+  let res = walk_desc ctx ~cur ~exc e in
+  ctx.stack := List.tl !(ctx.stack);
+  res
+
+and walk_list ctx ~cur ~exc es =
+  List.fold_left (fun cur e -> walk ctx ~cur ~exc e) cur es
+
+and walk_cases ctx ~entry ~exc ~join cases =
+  List.iter
+    (fun c ->
+      let cur =
+        match c.pc_guard with
+        | Some g -> walk ctx ~cur:entry ~exc g
+        | None -> entry
+      in
+      let c_end = walk ctx ~cur ~exc c.pc_rhs in
+      edge ctx c_end join)
+    cases
+
+and walk_desc ctx ~cur ~exc e =
+  match e.pexp_desc with
+  | Pexp_ident _ | Pexp_constant _ | Pexp_unreachable -> cur
+  | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ | Pexp_newtype _ ->
+      (* Deferred body: its own root, entered with an Unknown lockset. *)
+      enqueue ctx e;
+      cur
+  | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) ->
+      walk_call ctx ~cur ~exc e (Longident.flatten lid.txt) args
+  | Pexp_apply (h, args) ->
+      let cur = walk ctx ~cur ~exc h in
+      let cur = walk_list ctx ~cur ~exc (List.map snd args) in
+      edge ctx cur exc;
+      (* computed callee: may raise *)
+      cur
+  | Pexp_let (_, vbs, body) ->
+      let cur =
+        List.fold_left
+          (fun cur vb ->
+            ctx.stack := Suppress.allow_ids vb.pvb_attributes :: !(ctx.stack);
+            let cur = walk ctx ~cur ~exc vb.pvb_expr in
+            let cur =
+              match (var_of_pattern vb.pvb_pat, save_shape ctx vb.pvb_expr) with
+              | Some v, Some (s, what) when Hashtbl.mem ctx.restores (s, v) ->
+                  let nd =
+                    node ctx
+                      (Save
+                         {
+                           o_sym = s;
+                           o_var = v;
+                           o_what = what;
+                           o_loc = vb.pvb_loc;
+                           o_sup =
+                             active !(ctx.stack) "X001"
+                             || List.mem "X001"
+                                  (Suppress.allow_ids
+                                     vb.pvb_expr.pexp_attributes);
+                         })
+                  in
+                  edge ctx cur nd;
+                  nd
+              | _ -> cur
+            in
+            ctx.stack := List.tl !(ctx.stack);
+            cur)
+          cur vbs
+      in
+      walk ctx ~cur ~exc body
+  | Pexp_sequence (a, b) ->
+      let cur = walk ctx ~cur ~exc a in
+      walk ctx ~cur ~exc b
+  | Pexp_ifthenelse (c, t, f) ->
+      let c_end = walk ctx ~cur ~exc c in
+      let t_end = walk ctx ~cur:c_end ~exc t in
+      let j = node ctx Nop in
+      edge ctx t_end j;
+      (match f with
+      | Some f -> edge ctx (walk ctx ~cur:c_end ~exc f) j
+      | None -> edge ctx c_end j);
+      j
+  | Pexp_match (scrut, cases) ->
+      let exc_cases, val_cases =
+        List.partition
+          (fun c ->
+            match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false)
+          cases
+      in
+      let j = node ctx Nop in
+      let s_end =
+        match exc_cases with
+        | [] -> walk ctx ~cur ~exc scrut
+        | _ ->
+            (* exception cases catch only scrutinee evaluation *)
+            let h = node ctx Nop in
+            let s_end = walk ctx ~cur ~exc:h scrut in
+            if not (List.exists exc_catch_all exc_cases) then edge ctx h exc;
+            walk_cases ctx ~entry:h ~exc ~join:j exc_cases;
+            s_end
+      in
+      (match val_cases with
+      | [] -> edge ctx s_end j
+      | _ -> walk_cases ctx ~entry:s_end ~exc ~join:j val_cases);
+      j
+  | Pexp_try (b, cases) ->
+      let h = node ctx Nop in
+      let b_end = walk ctx ~cur ~exc:h b in
+      if not (List.exists catch_all_case cases) then edge ctx h exc;
+      let j = node ctx Nop in
+      edge ctx b_end j;
+      walk_cases ctx ~entry:h ~exc ~join:j cases;
+      j
+  | Pexp_while (c, body) ->
+      let head = node ctx Nop in
+      edge ctx cur head;
+      let c_end = walk ctx ~cur:head ~exc c in
+      let b_end = walk ctx ~cur:c_end ~exc body in
+      edge ctx b_end head;
+      c_end
+  | Pexp_for (_, lo, hi, _, body) ->
+      let cur = walk ctx ~cur ~exc lo in
+      let cur = walk ctx ~cur ~exc hi in
+      let head = node ctx Nop in
+      edge ctx cur head;
+      let b_end = walk ctx ~cur:head ~exc body in
+      edge ctx b_end head;
+      head
+  | Pexp_assert a -> (
+      match a.pexp_desc with
+      | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) ->
+          edge ctx cur exc;
+          node ctx Nop (* dead: no in-edges *)
+      | _ ->
+          let cur = walk ctx ~cur ~exc a in
+          edge ctx cur exc;
+          (* Assert_failure *)
+          cur)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> walk ctx ~cur ~exc e
+  | Pexp_open (_, e) | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) ->
+      walk ctx ~cur ~exc e
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> walk ctx ~cur ~exc a | None -> cur)
+  | Pexp_tuple es | Pexp_array es -> walk_list ctx ~cur ~exc es
+  | Pexp_record (fields, base) ->
+      let cur =
+        match base with Some b -> walk ctx ~cur ~exc b | None -> cur
+      in
+      walk_list ctx ~cur ~exc (List.map snd fields)
+  | Pexp_field (b, _) -> walk ctx ~cur ~exc b
+  | Pexp_setfield (b, _, v) ->
+      let cur = walk ctx ~cur ~exc b in
+      walk ctx ~cur ~exc v
+  | _ ->
+      (* generic fallback: children in syntactic order, no raising *)
+      let kids = ref [] in
+      iter_child_exprs (fun c -> kids := c :: !kids) e;
+      walk_list ctx ~cur ~exc (List.rev !kids)
+
+and walk_call ctx ~cur ~exc e path args =
+  if has_suffix ~suffix:[ "Fun"; "protect" ] path && first_nolabel args <> None
+  then walk_protect ctx ~cur ~exc args
+  else begin
+    let cur = walk_list ctx ~cur ~exc (List.map snd args) in
+    let target_sym () = Option.bind (first_nolabel args) sym in
+    if has_suffix ~suffix:[ "Mutex"; "lock" ] path then
+      match target_sym () with
+      | Some s ->
+          let nd =
+            node ctx
+              (Lock
+                 { lsym = s; lloc = e.pexp_loc; lsup = active !(ctx.stack) "L002" })
+          in
+          edge ctx cur nd;
+          nd
+      | None -> cur
+    else if has_suffix ~suffix:[ "Mutex"; "unlock" ] path then
+      match target_sym () with
+      | Some s ->
+          let nd =
+            node ctx
+              (Unlock
+                 { usym = s; uloc = e.pexp_loc; usup = active !(ctx.stack) "X002" })
+          in
+          edge ctx cur nd;
+          nd
+      | None -> cur
+    else if raiser path then begin
+      edge ctx cur exc;
+      node ctx Nop (* dead *)
+    end
+    else
+      match restore_shape ctx path args with
+      | Some (s, v) ->
+          let nd = node ctx (Restore { rsym = s; rvar = v }) in
+          edge ctx cur nd;
+          nd
+      | None ->
+          if never_raises path then cur
+          else begin
+            let expanded = Callgraph.expand ctx.graph ctx.u path in
+            let targets = Callgraph.resolve ctx.graph ctx.u path in
+            let may_raise =
+              match targets with
+              | [] -> true
+              | _ ->
+                  List.exists
+                    (fun t ->
+                      Hashtbl.find_opt ctx.raise_tbl (Callgraph.key t)
+                      <> Some false)
+                    targets
+            in
+            match blocking_of_call ctx path expanded targets with
+            | Some what ->
+                let nd =
+                  node ctx
+                    (Blocking
+                       {
+                         bwhat = what;
+                         bloc = e.pexp_loc;
+                         bsup = active !(ctx.stack) "L001";
+                       })
+                in
+                edge ctx cur nd;
+                if may_raise then edge ctx nd exc;
+                nd
+            | None ->
+                if may_raise then edge ctx cur exc;
+                cur
+          end
+  end
+
+(* Fun.protect ~finally:F B: run B with its exceptional edge collected,
+   then run (a copy of) F on both the normal and the exceptional edge; the
+   exceptional copy re-raises afterwards. *)
+and walk_protect ctx ~cur ~exc args =
+  let finally =
+    List.find_map
+      (fun (l, a) ->
+        match l with
+        | Asttypes.Labelled "finally" -> Some a
+        | _ -> None)
+      args
+  in
+  let body = first_nolabel args in
+  (* Argument expressions evaluate first; literal thunks contribute no
+     events and are inlined below instead. *)
+  let cur =
+    List.fold_left
+      (fun cur (_, a) -> if thunk_body a <> None then cur else walk ctx ~cur ~exc a)
+      cur args
+  in
+  match body with
+  | None ->
+      (* partial application: just a may-raise call *)
+      edge ctx cur exc;
+      cur
+  | Some b ->
+      let exc_collect = node ctx Nop in
+      let b_end =
+        match thunk_body b with
+        | Some inner -> walk ctx ~cur ~exc:exc_collect inner
+        | None ->
+            (* opaque thunk: may-raise call routed through the finalizer *)
+            let call = node ctx Nop in
+            edge ctx cur call;
+            edge ctx call exc_collect;
+            call
+      in
+      let fin_literal = Option.bind finally thunk_body in
+      (match fin_literal with
+      | Some fin ->
+          let n_end = walk ctx ~cur:b_end ~exc fin in
+          let x_end = walk ctx ~cur:exc_collect ~exc fin in
+          edge ctx x_end exc;
+          (* re-raise *)
+          n_end
+      | None ->
+          (* opaque finalizer: a may-raise call on both edges *)
+          let fin_call from_ =
+            let c = node ctx Nop in
+            edge ctx from_ c;
+            edge ctx c exc;
+            c
+          in
+          let n_end = fin_call b_end in
+          let x_after = fin_call exc_collect in
+          edge ctx x_after exc;
+          n_end)
+
+(* --------------------------------------------------- forward analysis -- *)
+
+module StrMap = Map.Make (String)
+
+type prov = { p_loc : Location.t; p_sup : bool }
+
+type lockst = NotHeld | Held of prov list | Mixed of prov list
+(* Unknown is the absence of an entry in the map. *)
+
+type state = { locks : lockst StrMap.t; obs : obligation list }
+
+let join_provs a b = List.sort_uniq compare (a @ b)
+
+let join_lock a b =
+  match (a, b) with
+  | None, None -> None
+  | Some x, None | None, Some x -> (
+      (* other side is Unknown *)
+      match x with
+      | NotHeld -> Some NotHeld
+      | Held p | Mixed p -> Some (Mixed p))
+  | Some NotHeld, Some NotHeld -> Some NotHeld
+  | Some (Held p), Some (Held q) -> Some (Held (join_provs p q))
+  | Some (Held p | Mixed p), Some (Held q | Mixed q) ->
+      Some (Mixed (join_provs p q))
+  | Some NotHeld, Some (Held p | Mixed p)
+  | Some (Held p | Mixed p), Some NotHeld ->
+      Some (Mixed p)
+
+let join_state a b =
+  {
+    locks = StrMap.merge (fun _ x y -> join_lock x y) a.locks b.locks;
+    obs = List.sort_uniq compare (a.obs @ b.obs);
+  }
+
+let transfer ~record ev st =
+  match ev with
+  | Nop -> st
+  | Lock { lsym; lloc; lsup } ->
+      let prev =
+        match StrMap.find_opt lsym st.locks with
+        | Some (Held p | Mixed p) -> p
+        | _ -> []
+      in
+      {
+        st with
+        locks =
+          StrMap.add lsym
+            (Held (join_provs [ { p_loc = lloc; p_sup = lsup } ] prev))
+            st.locks;
+      }
+  | Unlock { usym; uloc; usup } ->
+      (match StrMap.find_opt usym st.locks with
+      | Some NotHeld ->
+          if not usup then
+            record
+              (Finding.of_location ~id:"X002"
+                 ~message:
+                   (Printf.sprintf
+                      "Mutex.unlock on %s without a matching lock on this \
+                       path (double unlock?): stdlib mutexes are not \
+                       reentrant and error on double release"
+                      usym)
+                 uloc)
+      | _ -> ());
+      { st with locks = StrMap.add usym NotHeld st.locks }
+  | Blocking { bwhat; bloc; bsup } ->
+      let held =
+        StrMap.fold
+          (fun s l acc ->
+            match l with Held _ | Mixed _ -> s :: acc | NotHeld -> acc)
+          st.locks []
+        |> List.sort String.compare
+      in
+      (match held with
+      | [] -> ()
+      | _ ->
+          if not bsup then
+            record
+              (Finding.of_location ~id:"L001"
+                 ~message:
+                   (Printf.sprintf
+                      "blocking call (%s) while mutex %s is held: IO/optimizer \
+                       latency serializes every domain contending on the \
+                       lock; move the call outside the critical section"
+                      bwhat (String.concat ", " held))
+                 bloc));
+      st
+  | Save ob -> { st with obs = List.sort_uniq compare (ob :: st.obs) }
+  | Restore { rsym; rvar } ->
+      {
+        st with
+        obs =
+          List.filter
+            (fun o -> not (String.equal o.o_sym rsym && String.equal o.o_var rvar))
+            st.obs;
+      }
+
+let run_analysis ctx ~entry ~exit_x ~record =
+  let n = ctx.g.n in
+  let evs = Array.of_list (List.rev ctx.g.evs) in
+  let succs = Array.make n [] in
+  List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) ctx.g.edges;
+  Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+  let states : state option array = Array.make n None in
+  states.(entry) <- Some { locks = StrMap.empty; obs = [] };
+  let queue = Queue.create () in
+  let inq = Array.make n false in
+  let push i =
+    if not inq.(i) then begin
+      inq.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  push entry;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    inq.(i) <- false;
+    match states.(i) with
+    | None -> ()
+    | Some st ->
+        let out = transfer ~record evs.(i) st in
+        List.iter
+          (fun j ->
+            let merged =
+              match states.(j) with
+              | None -> out
+              | Some t -> join_state t out
+            in
+            if states.(j) <> Some merged then begin
+              states.(j) <- Some merged;
+              push j
+            end)
+          succs.(i)
+  done;
+  (* Root exceptional exit: leaked locks (L002) and pending save/restore
+     obligations (X001). *)
+  match states.(exit_x) with
+  | None -> ()
+  | Some st ->
+      StrMap.iter
+        (fun s l ->
+          match l with
+          | Held provs | Mixed provs ->
+              List.iter
+                (fun p ->
+                  if not p.p_sup then
+                    record
+                      (Finding.of_location ~id:"L002"
+                         ~message:
+                           (Printf.sprintf
+                              "Mutex.lock on %s: an exceptional path exits \
+                               without unlocking it; wrap the critical \
+                               section in Fun.protect ~finally:(fun () -> \
+                               Mutex.unlock %s)"
+                              s s)
+                         p.p_loc))
+                provs
+          | NotHeld -> ())
+        st.locks;
+      List.iter
+        (fun o ->
+          if not o.o_sup then
+            record
+              (Finding.of_location ~id:"X001"
+                 ~message:
+                   (Printf.sprintf
+                      "saved state %s (bound as %s) is not restored on some \
+                       exceptional path; perform the restore in a Fun.protect \
+                       ~finally"
+                      o.o_what o.o_var)
+                 o.o_loc))
+        st.obs
+
+(* --------------------------------------------------------------- roots -- *)
+
+let analyze_root ~graph ~eff ~raise_tbl ~opt_tbl ~queue ~record (p : pending) =
+  let g = { n = 0; evs = []; edges = [] } in
+  let ctx =
+    {
+      g;
+      graph;
+      eff;
+      u = p.p_u;
+      raise_tbl;
+      opt_tbl;
+      restores = scan_restores graph p.p_u p.p_expr;
+      stack = ref p.p_stack;
+      queue;
+    }
+  in
+  let entry = node ctx Nop in
+  let exit_x = node ctx Nop in
+  let exit_n = node ctx Nop in
+  let rec split e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, b) | Pexp_newtype (_, b) | Pexp_lazy b -> split b
+    | Pexp_constraint (b, _) | Pexp_coerce (b, _, _) -> split b
+    | _ -> e
+  in
+  let body = split p.p_expr in
+  (match body.pexp_desc with
+  | Pexp_function cases -> walk_cases ctx ~entry ~exc:exit_x ~join:exit_n cases
+  | _ ->
+      let b_end = walk ctx ~cur:entry ~exc:exit_x body in
+      edge ctx b_end exit_n);
+  run_analysis ctx ~entry ~exit_x ~record
+
+let check graph eff =
+  let raise_tbl = compute_raises graph in
+  let opt_tbl = compute_opt_reach graph eff in
+  (* Deduplicated sticky findings: keyed by (id, location); the final
+     transfer of a node runs with its final (largest) in-state, so the
+     last write carries the complete message. *)
+  let findings : (string * string * int * int, Finding.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let record (f : Finding.t) =
+    Hashtbl.replace findings (f.Finding.id, f.Finding.file, f.Finding.line, f.Finding.col) f
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      Queue.add
+        {
+          p_u = n.Callgraph.u;
+          p_expr = n.Callgraph.expr;
+          p_stack = [ Suppress.allow_ids n.Callgraph.attrs ];
+        }
+        queue)
+    (Callgraph.nodes graph);
+  while not (Queue.is_empty queue) do
+    analyze_root ~graph ~eff ~raise_tbl ~opt_tbl ~queue ~record
+      (Queue.pop queue)
+  done;
+  List.sort Finding.compare (Hashtbl.fold (fun _ f acc -> f :: acc) findings [])

@@ -1,0 +1,36 @@
+(** Flow-sensitive lock-discipline and exception-safety analysis (the
+    L/X-series): an intraprocedural CFG over Parsetree expressions with
+    explicit exceptional edges, and a forward may-analysis over a small
+    product lattice — held locksets (R002's nominal mutex identities) ×
+    pending save/restore obligations on [Atomic.t]/[ref]/catalog virtual
+    state.
+
+    - [L001] a blocking effect ([PerformsIO] per the {!Effects} summaries,
+      or an [Optimizer.optimize*] entry) is reachable while a mutex is
+      statically held.
+    - [L002] a mutex is acquired and some exceptional path reaches the
+      function exit without unlocking it (a bare [Mutex.lock]/[Mutex.unlock]
+      pair not wrapped in a [Fun.protect]-style finalizer).
+    - [X001] a save/restore idiom ([let old = Atomic.get x … Atomic.set x
+      old], [let old = !r … r := old], or the [Catalog.virtual_indexes] /
+      [Catalog.set_virtual_indexes] analogue) whose restore is skipped on
+      some exceptional path.
+    - [X002] [Mutex.unlock] on a path where the mutex is statically not
+      held (double unlock, or unlock without a lock on this path).
+
+    CFG construction (exceptional edges for [raise]/[failwith], any call
+    whose per-binding can-raise summary is set, [try]/[match]-[exception]
+    handlers re-joining, [Fun.protect] finalizers inlined on both the
+    normal and the exceptional edge), the lattice, and the soundness /
+    incompleteness trade-offs are documented in DESIGN.md §5k.
+
+    Suppression: [\[@lint.allow "ID"\]] at the site a finding anchors to
+    (the blocking call for L001, the [Mutex.lock] for L002, the save
+    binding for X001, the [Mutex.unlock] for X002), plus allow-file
+    entries downstream. *)
+
+(** Run L001, L002, X001 and X002 over every binding of the graph (each
+    closure body is analyzed as its own root, entered with an unknown
+    lockset).  Findings are deduplicated and carry attribute suppressions
+    already applied. *)
+val check : Callgraph.t -> Effects.t -> Finding.t list

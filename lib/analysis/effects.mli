@@ -151,6 +151,12 @@ val bound_vars : Parsetree.expression -> (string, unit) Hashtbl.t
 (** Does the expression body contain a [Mutex.lock] reference? *)
 val contains_mutex_lock : Parsetree.expression -> bool
 
+(** Classify a dotted path as an unambiguous IO builtin (console/channel/
+    filesystem traffic); returns the display name.  Callers gate on empty
+    graph resolution first, so project bindings sharing a builtin's name
+    do not classify. *)
+val io_of_path : string list -> string option
+
 (** Read-modify-write float-update sites in an expression as
     [(loc, description, n002_suppressed)] triples; [exempt] names targets
     to skip (per-call locals, closure-bound accumulators), [stack0] seeds

@@ -34,7 +34,8 @@ let parse_structure ~filename source =
 (* Every parsetree-level finding of a program: the unit-local checks per
    unit, then the whole-program checks (D003, N001, E001, E002, the
    R-series and N002) over the shared graph and one effect-inference
-   pass. *)
+   pass, then the flow-sensitive L/X-series over the same graph and
+   summaries. *)
 let program_findings ~config units =
   let graph = Callgraph.build units in
   let eff = Effects.analyze graph in
@@ -50,6 +51,7 @@ let program_findings ~config units =
   @ Checks.check_e001_program ~config eff graph
   @ Checks.check_e002_program ~config eff graph
   @ Races.check graph eff
+  @ Dataflow.check graph eff
 
 let lint_source ?(config = Checks.default_config) ~filename source =
   match parse_structure ~filename source with
@@ -132,20 +134,37 @@ let effects_dump paths =
   let units, parse_errors = load_units mls in
   (Effects.dump (Effects.analyze (Callgraph.build units)), walk_errors @ parse_errors)
 
+(* Just the flow-sensitive L/X-series over the unit set (the bench
+   harness's [lint.dataflow] exhibit: CFG construction + fixpoints +
+   worklist, without the rest of the catalog). *)
+let dataflow_findings paths =
+  let mls, _, walk_errors = collect_sources paths in
+  let units, parse_errors = load_units mls in
+  let graph = Callgraph.build units in
+  (Dataflow.check graph (Effects.analyze graph), walk_errors @ parse_errors)
+
 (* ------------------------------------------------------ JSON rendering -- *)
 
 (* Schema version of the machine-readable report.  Bump when the envelope
    shape changes; the fixtures in test/ lock the bytes.  v3: N/E-series
-   checks in the catalog, top-level "errors" array. *)
-let json_schema_version = 3
+   checks in the catalog, top-level "errors" array.  v4: the
+   flow-sensitive L/X-series in the catalog; the "checks" array reflects
+   an --only/--skip filter when one is active. *)
+let json_schema_version = 4
 
-let report_to_json (r : report) =
+let report_to_json ?only (r : report) =
+  let cat =
+    match only with
+    | None -> Checks.catalog
+    | Some ids ->
+        List.filter (fun (c : Checks.check_info) -> List.mem c.id ids) Checks.catalog
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"schema_version\": %d,\n" json_schema_version);
   Buffer.add_string buf "  \"checks\": [\n";
-  let n_checks = List.length Checks.catalog in
+  let n_checks = List.length cat in
   List.iteri
     (fun i (c : Checks.check_info) ->
       Buffer.add_string buf
@@ -153,7 +172,7 @@ let report_to_json (r : report) =
            (Finding.json_escape c.id)
            (Finding.json_escape c.title)
            (if i = n_checks - 1 then "" else ",")))
-    Checks.catalog;
+    cat;
   Buffer.add_string buf "  ],\n";
   (match List.sort Finding.compare r.findings with
   | [] -> Buffer.add_string buf "  \"findings\": [],\n"

@@ -13,7 +13,8 @@ type report = {
 val empty_report : report
 
 (** Lint one source string as a one-unit program (every parsetree-level
-    check including D003 and the R-series; no H001). *)
+    check including D003, the R-series and the flow-sensitive L/X-series;
+    no H001). *)
 val lint_source :
   ?config:Checks.config ->
   filename:string ->
@@ -39,11 +40,18 @@ val callgraph_dot : string list -> string * error list
     the parsable subset). *)
 val effects_dump : string list -> string * error list
 
+(** Just the flow-sensitive L/X-series ({!Dataflow.check}) over every
+    [.ml] under [paths], plus any walk/parse errors (the bench harness's
+    [lint.dataflow] exhibit). *)
+val dataflow_findings : string list -> Finding.t list * error list
+
 (** Schema version of {!report_to_json}'s envelope. *)
 val json_schema_version : int
 
 (** The versioned machine-readable report: schema version, check catalog,
     findings sorted by (file, line, col, id), suppressed totals per check
     ID, walk/parse errors.  Byte-stable for identical inputs
-    (fixture-locked in test/). *)
-val report_to_json : report -> string
+    (fixture-locked in test/).  [only] restricts the emitted "checks"
+    array to the given IDs (the --only/--skip filter); the caller filters
+    the findings themselves. *)
+val report_to_json : ?only:string list -> report -> string

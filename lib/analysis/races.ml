@@ -366,6 +366,13 @@ let r002_self_message a =
      this self-deadlocks"
     a a
 
+(* [fun () -> body] (or any one-argument literal fun) viewed as the body it
+   will run — used to walk [Fun.protect] thunks in-line below. *)
+let thunk_body (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (Nolabel, None, _, b) -> Some b
+  | _ -> None
+
 let check_r002 graph =
   let pairs : (string * string, lock_site list) Hashtbl.t = Hashtbl.create 32 in
   let add_pair a b site =
@@ -391,8 +398,39 @@ let check_r002 graph =
                      defined. *)
                   let saved = !held in
                   held := [];
-                  Ast_iterator.default_iterator.expr it e;
-                  held := saved
+                  Fun.protect
+                    ~finally:(fun () -> held := saved)
+                    (fun () -> Ast_iterator.default_iterator.expr it e)
+              | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args)
+                when Effects.has_suffix ~suffix:[ "Fun"; "protect" ]
+                       (Longident.flatten lid.txt)
+                     && List.exists
+                          (function
+                            | Asttypes.Labelled "finally", _ -> true | _ -> false)
+                          args ->
+                  (* Fun.protect runs its body and then its finalizer at the
+                     *current* lock level, so literal thunks are walked
+                     in-line rather than as deferred closures — otherwise a
+                     [Mutex.unlock] in [~finally] would never discharge the
+                     lock acquired just above it. *)
+                  List.iter
+                    (fun ((l : Asttypes.arg_label), a) ->
+                      match l with
+                      | Labelled "finally" -> ()
+                      | _ -> (
+                          match thunk_body a with
+                          | Some b -> it.expr it b
+                          | None -> it.expr it a))
+                    args;
+                  List.iter
+                    (fun ((l : Asttypes.arg_label), a) ->
+                      match l with
+                      | Labelled "finally" -> (
+                          match thunk_body a with
+                          | Some b -> it.expr it b
+                          | None -> it.expr it a)
+                      | _ -> ())
+                    args
               | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) -> (
                   let path = Longident.flatten lid.txt in
                   (if Effects.has_suffix ~suffix:[ "Mutex"; "lock" ] path then

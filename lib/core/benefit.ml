@@ -135,8 +135,11 @@ let cached_sub_configs t =
   Array.fold_left
     (fun acc shard ->
       Mutex.lock shard.lock;
-      let n = Hashtbl.length shard.cache in
-      Mutex.unlock shard.lock;
+      let n =
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock shard.lock)
+          (fun () -> Hashtbl.length shard.cache)
+      in
       acc + n)
     0 t.shards
 
@@ -342,8 +345,9 @@ let config_costs t ~defs key stmts =
         end
   in
   Mutex.lock shard.lock;
-  let decision = acquire () in
-  Mutex.unlock shard.lock;
+  let decision =
+    Fun.protect ~finally:(fun () -> Mutex.unlock shard.lock) acquire
+  in
   match decision with
   | `Hit costs -> costs
   | `Raise e -> raise e
@@ -369,25 +373,32 @@ let config_costs t ~defs key stmts =
                     (List.map (fun i -> t.items.(i).Workload.statement) missing))
          in
          Mutex.lock shard.lock;
-         Hashtbl.remove shard.pending key;
-         List.iteri
-           (fun k i -> Hashtbl.replace entry.e_costs i plans.(k).Plan.total_cost)
-           missing;
-         Hashtbl.replace shard.cache key (Ok entry);
-         count_evaluations t (match missing with [] -> 0 | _ -> 1);
-         let costs = read entry in
-         Condition.broadcast shard.cond;
-         Mutex.unlock shard.lock;
-         costs
+         Fun.protect
+           ~finally:(fun () ->
+             Condition.broadcast shard.cond;
+             Mutex.unlock shard.lock)
+           (fun () ->
+             Hashtbl.remove shard.pending key;
+             List.iteri
+               (fun k i ->
+                 Hashtbl.replace entry.e_costs i plans.(k).Plan.total_cost)
+               missing;
+             Hashtbl.replace shard.cache key (Ok entry);
+             count_evaluations t (match missing with [] -> 0 | _ -> 1);
+             read entry)
        with e ->
          Mutex.lock shard.lock;
-         Hashtbl.remove shard.pending key;
-         (* Cache the failure of a FRESH entry: waiters (and any later
-            request for this key) re-raise instead of recomputing.  An
-            existing entry keeps its good costs. *)
-         if Option.is_none prior then Hashtbl.replace shard.cache key (Error e);
-         Condition.broadcast shard.cond;
-         Mutex.unlock shard.lock;
+         Fun.protect
+           ~finally:(fun () ->
+             Condition.broadcast shard.cond;
+             Mutex.unlock shard.lock)
+           (fun () ->
+             Hashtbl.remove shard.pending key;
+             (* Cache the failure of a FRESH entry: waiters (and any later
+                request for this key) re-raise instead of recomputing.  An
+                existing entry keeps its good costs. *)
+             if Option.is_none prior then
+               Hashtbl.replace shard.cache key (Error e));
          raise e)
 
 (* Cost of the whole workload under a configuration (one batched Evaluate

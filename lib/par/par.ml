@@ -54,27 +54,28 @@ let m_idle_us = lazy (Xia_obs.Metrics.counter "par.idle_us")
 let worker_loop pool () =
   let rec next () =
     Mutex.lock pool.lock;
-    let rec await () =
-      if pool.stop then begin
-        Mutex.unlock pool.lock;
-        None
-      end
-      else
-        match Queue.take_opt pool.jobs with
-        | Some job ->
-            Mutex.unlock pool.lock;
-            Some job
-        | None ->
-            if Obs.on () then begin
-              let t0 = Obs.now_s () in
-              Condition.wait pool.nonempty pool.lock;
-              Metrics.add (Lazy.force m_idle_us)
-                (int_of_float ((Obs.now_s () -. t0) *. 1e6))
-            end
-            else Condition.wait pool.nonempty pool.lock;
-            await ()
+    let job =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock pool.lock)
+        (fun () ->
+          let rec await () =
+            if pool.stop then None
+            else
+              match Queue.take_opt pool.jobs with
+              | Some job -> Some job
+              | None ->
+                  if Obs.on () then begin
+                    let t0 = Obs.now_s () in
+                    Condition.wait pool.nonempty pool.lock;
+                    Metrics.add (Lazy.force m_idle_us)
+                      (int_of_float ((Obs.now_s () -. t0) *. 1e6))
+                  end
+                  else Condition.wait pool.nonempty pool.lock;
+                  await ()
+          in
+          await ())
     in
-    match await () with
+    match job with
     | None -> ()
     | Some job ->
         (try job () with _ -> ());
@@ -117,9 +118,11 @@ let rec get_pool () =
 
 let submit pool job =
   Mutex.lock pool.lock;
-  Queue.push job pool.jobs;
-  Condition.signal pool.nonempty;
-  Mutex.unlock pool.lock
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.lock)
+    (fun () ->
+      Queue.push job pool.jobs;
+      Condition.signal pool.nonempty)
 
 let map ~domains f arr =
   let n = Array.length arr in

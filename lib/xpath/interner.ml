@@ -54,32 +54,31 @@ let intern t key =
   | Some id -> id
   | None ->
       Mutex.lock t.lock;
-      let id =
-        match find t key with
-        | Some id -> id (* lost the race: another writer added it *)
-        | None ->
-            let id = Atomic.fetch_and_add t.count 1 in
-            let h = t.hash key in
-            let map = Atomic.get t.buckets in
-            let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
-            let old = Atomic.get t.values in
-            let values =
-              if id < Array.length old then old
-              else begin
-                let grown = Array.make (max 64 (2 * (id + 1))) key in
-                Array.blit old 0 grown 0 (Array.length old);
-                grown
-              end
-            in
-            values.(id) <- key;
-            (* Publish the value array before the bucket map: a reader that
-               obtains [id] must find [values.(id)] valid. *)
-            Atomic.set t.values values;
-            Atomic.set t.buckets (Int_map.add h ((key, id) :: bucket) map);
-            id
-      in
-      Mutex.unlock t.lock;
-      id
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () ->
+          match find t key with
+          | Some id -> id (* lost the race: another writer added it *)
+          | None ->
+              let id = Atomic.fetch_and_add t.count 1 in
+              let h = t.hash key in
+              let map = Atomic.get t.buckets in
+              let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
+              let old = Atomic.get t.values in
+              let values =
+                if id < Array.length old then old
+                else begin
+                  let grown = Array.make (max 64 (2 * (id + 1))) key in
+                  Array.blit old 0 grown 0 (Array.length old);
+                  grown
+                end
+              in
+              values.(id) <- key;
+              (* Publish the value array before the bucket map: a reader that
+                 obtains [id] must find [values.(id)] valid. *)
+              Atomic.set t.values values;
+              Atomic.set t.buckets (Int_map.add h ((key, id) :: bucket) map);
+              id)
 
 let value t id = (Atomic.get t.values).(id)
 
@@ -129,16 +128,15 @@ module Cache = struct
     | None ->
         let v = f () in
         Mutex.lock t.lock;
-        let v =
-          match find t key with
-          | Some v' -> v' (* keep the first published result *)
-          | None ->
-              let h = t.hash key in
-              let map = Atomic.get t.buckets in
-              let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
-              Atomic.set t.buckets (Int_map.add h ((key, v) :: bucket) map);
-              v
-        in
-        Mutex.unlock t.lock;
-        v
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.lock)
+          (fun () ->
+            match find t key with
+            | Some v' -> v' (* keep the first published result *)
+            | None ->
+                let h = t.hash key in
+                let map = Atomic.get t.buckets in
+                let bucket = Option.value ~default:[] (Int_map.find_opt h map) in
+                Atomic.set t.buckets (Int_map.add h ((key, v) :: bucket) map);
+                v)
 end

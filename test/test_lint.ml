@@ -354,6 +354,19 @@ let self_check_tests =
                  Some (Finding.to_string f)
                else None)
              report.findings));
+    tc "repo lib/ is L/X-clean without any suppression" (fun () ->
+        (* Same bar for the flow-sensitive checks: every lock region and
+           save/restore in lib/ is exception-safe on its own merits — no
+           allow-file entry and no attribute hides an L/X-series finding. *)
+        let report = Lint.lint_paths [ "../lib" ] in
+        Alcotest.(check (list string))
+          "no L/X-series findings" []
+          (List.filter_map
+             (fun (f : Finding.t) ->
+               if String.length f.id > 0 && (f.id.[0] = 'L' || f.id.[0] = 'X')
+               then Some (Finding.to_string f)
+               else None)
+             report.findings));
     tc "injected D001 violation fails the full pipeline" (fun () ->
         (* The acceptance-criteria demonstration: the exact bug class PR 1
            shipped (a toplevel ref on a parallel path) yields a non-empty
@@ -481,8 +494,10 @@ let r001_tests =
           "let t = Hashtbl.create 8\n\
            let spawn () = Domain.spawn (fun () -> Hashtbl.clear t)\n");
     tc "Mutex.lock discipline defers to the human" (fun () ->
-        check_ids "only the D001 for the raw global"
-          [ (1, "D001") ]
+        (* No R001: the lock covers the access.  The bare lock/unlock pair
+           around a may-raise container call is L002's business now. *)
+        check_ids "D001 for the raw global, L002 for the bare pair"
+          [ (1, "D001"); (3, "L002") ]
           "let table = Hashtbl.create 16\n\
            let m = Mutex.create ()\n\
            let record x = Mutex.lock m; Hashtbl.replace table x (); Mutex.unlock m\n\
@@ -577,6 +592,425 @@ let r003_tests =
            let bump () = (Atomic.set c (Atomic.get c + 1) [@lint.allow \"R003\"])\n");
   ]
 
+(* ------------------------------------- L001: blocking call under a lock -- *)
+
+let l001_tests =
+  [
+    tc "IO builtin inside a protected critical section" (fun () ->
+        let fs =
+          findings
+            "let m = Mutex.create ()\n\
+             let run () =\n\
+            \  Mutex.lock m;\n\
+            \  Fun.protect ~finally:(fun () -> Mutex.unlock m)\n\
+            \    (fun () -> print_endline \"x\")\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the blocking site"
+          [ (5, "L001") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "names the primitive and the mutex" true
+          (contains (List.hd fs).Finding.message "print_endline"
+          && contains (List.hd fs).Finding.message "mutex m"));
+    tc "optimizer entry inside a protected critical section" (fun () ->
+        check_ids "flagged"
+          [ (5, "L001") ]
+          "let m = Mutex.create ()\n\
+           let run c s =\n\
+          \  Mutex.lock m;\n\
+          \  Fun.protect ~finally:(fun () -> Mutex.unlock m)\n\
+          \    (fun () -> Optimizer.optimize c s)\n");
+    tc "pure work under the lock is fine" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let n = Atomic.make 0\n\
+           let bump () =\n\
+          \  Mutex.lock m;\n\
+          \  Atomic.incr n;\n\
+          \  Mutex.unlock m\n");
+    tc "IO after the unlock is fine" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let n = Atomic.make 0\n\
+           let run () =\n\
+          \  Mutex.lock m;\n\
+          \  Atomic.incr n;\n\
+          \  Mutex.unlock m;\n\
+          \  print_endline \"done\"\n");
+    tc "attribute suppression at the blocking site" (fun () ->
+        check_ids "suppressed" []
+          "let m = Mutex.create ()\n\
+           let run () =\n\
+          \  Mutex.lock m;\n\
+          \  Fun.protect ~finally:(fun () -> Mutex.unlock m)\n\
+          \    (fun () -> (print_endline \"x\" [@lint.allow \"L001\"]))\n");
+    tc "cross-unit: blocking only visible through the effect summary" (fun () ->
+        let sink = "let log s = print_endline s\n" in
+        let worker =
+          "let m = Mutex.create ()\n\
+           let run () =\n\
+          \  Mutex.lock m;\n\
+          \  Fun.protect ~finally:(fun () -> Mutex.unlock m)\n\
+          \    (fun () -> Sink.log \"x\")\n"
+        in
+        (* The lock-holding unit alone is clean: [Sink.log] is opaque, so
+           nothing marks it as blocking. *)
+        Alcotest.(check (list string))
+          "worker.ml alone is clean" []
+          (List.map (fun (f : Finding.t) -> f.id) (findings ~filename:"worker.ml" worker));
+        with_temp_project
+          [ ("sink.ml", sink); ("worker.ml", worker) ]
+          (fun dir ->
+            let report = Lint.lint_paths [ dir ] in
+            let l001 =
+              List.filter (fun (f : Finding.t) -> f.id = "L001") report.findings
+            in
+            Alcotest.(check int) "whole-program view finds it" 1 (List.length l001);
+            let f = List.hd l001 in
+            Alcotest.(check string)
+              "anchored at the call under the lock" "worker.ml"
+              (Filename.basename f.Finding.file);
+            Alcotest.(check bool)
+              "names the callee's summary" true
+              (contains f.Finding.message "log performs IO")));
+  ]
+
+(* ------------------------- L002: lock leaked on an exceptional path ---- *)
+
+let l002_tests =
+  [
+    tc "opaque call between bare lock and unlock" (fun () ->
+        let fs =
+          findings
+            "let m = Mutex.create ()\n\
+             let run f =\n\
+            \  Mutex.lock m;\n\
+            \  f ();\n\
+            \  Mutex.unlock m\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the lock site"
+          [ (3, "L002") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "prescribes Fun.protect over the same mutex" true
+          (contains (List.hd fs).Finding.message
+             "Fun.protect ~finally:(fun () -> Mutex.unlock m)"));
+    tc "explicit raise under the lock" (fun () ->
+        check_ids "flagged"
+          [ (3, "L002") ]
+          "let m = Mutex.create ()\n\
+           let run b =\n\
+          \  Mutex.lock m;\n\
+          \  if b then raise Exit;\n\
+          \  Mutex.unlock m\n");
+    tc "Fun.protect discharges the lock" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let run f =\n\
+          \  Mutex.lock m;\n\
+          \  Fun.protect ~finally:(fun () -> Mutex.unlock m) f\n");
+    tc "total critical section needs no finalizer" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let n = Atomic.make 0\n\
+           let bump () =\n\
+          \  Mutex.lock m;\n\
+          \  Atomic.incr n;\n\
+          \  Mutex.unlock m\n");
+    tc "catch-all try absorbs the exceptional path" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let run f =\n\
+          \  Mutex.lock m;\n\
+          \  (try f () with _ -> ());\n\
+          \  Mutex.unlock m\n");
+    tc "attribute suppression at the lock site" (fun () ->
+        check_ids "suppressed" []
+          "let m = Mutex.create ()\n\
+           let run f =\n\
+          \  (Mutex.lock m [@lint.allow \"L002\"]);\n\
+          \  f ();\n\
+          \  Mutex.unlock m\n");
+  ]
+
+(* ------------------- X001: save/restore skipped on exceptional path ---- *)
+
+let x001_tests =
+  [
+    tc "atomic save/restore around an opaque call" (fun () ->
+        let fs =
+          findings
+            "let flag = Atomic.make false\n\
+             let with_flag f =\n\
+            \  let saved = Atomic.get flag in\n\
+            \  Atomic.set flag true;\n\
+            \  let r = f () in\n\
+            \  Atomic.set flag saved;\n\
+            \  r\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the save"
+          [ (3, "X001") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs);
+        Alcotest.(check bool)
+          "names the saved state and the binding" true
+          (contains (List.hd fs).Finding.message "Atomic.get flag"
+          && contains (List.hd fs).Finding.message "saved"));
+    tc "ref save/restore around an opaque call" (fun () ->
+        check_ids "flagged"
+          [ (3, "X001") ]
+          "let depth = ref 0 [@@lint.allow \"D001\"]\n\
+           let deeper f =\n\
+          \  let saved = !depth in\n\
+          \  depth := saved + 1;\n\
+          \  let r = f () in\n\
+          \  depth := saved;\n\
+          \  r\n");
+    tc "restore inside Fun.protect ~finally discharges" (fun () ->
+        check_ids "clean" []
+          "let flag = Atomic.make false\n\
+           let with_flag f =\n\
+          \  let saved = Atomic.get flag in\n\
+          \  Atomic.set flag true;\n\
+          \  Fun.protect ~finally:(fun () -> Atomic.set flag saved) f\n");
+    tc "a read with no matching restore is not a save" (fun () ->
+        check_ids "clean" []
+          "let flag = Atomic.make false\n\
+           let peek f =\n\
+          \  let v = Atomic.get flag in\n\
+          \  f ();\n\
+          \  v\n");
+    tc "attribute suppression on the saving expression" (fun () ->
+        check_ids "suppressed" []
+          "let flag = Atomic.make false\n\
+           let with_flag f =\n\
+          \  let saved = (Atomic.get flag [@lint.allow \"X001\"]) in\n\
+          \  Atomic.set flag true;\n\
+          \  let r = f () in\n\
+          \  Atomic.set flag saved;\n\
+          \  r\n");
+  ]
+
+(* --------------------- X002: unlock without a lock on this path -------- *)
+
+let x002_tests =
+  [
+    tc "double unlock" (fun () ->
+        let fs =
+          findings
+            "let m = Mutex.create ()\n\
+             let run () =\n\
+            \  Mutex.lock m;\n\
+            \  Mutex.unlock m;\n\
+            \  Mutex.unlock m\n"
+        in
+        Alcotest.(check (list (pair int string)))
+          "flagged at the second unlock"
+          [ (5, "X002") ]
+          (List.map (fun (f : Finding.t) -> (f.line, f.id)) fs));
+    tc "maybe-held joins stay silent; the definite re-unlock fires" (fun () ->
+        (* After the branch the lock is only *maybe* held, so the first
+           unlock passes; it leaves the lock statically free, so the second
+           unlock is a definite error. *)
+        check_ids "flagged"
+          [ (6, "X002") ]
+          "let m = Mutex.create ()\n\
+           let n = Atomic.make 0\n\
+           let run b =\n\
+          \  if b then Mutex.lock m else Atomic.incr n;\n\
+          \  Mutex.unlock m;\n\
+          \  Mutex.unlock m\n");
+    tc "balanced lock/unlock is fine" (fun () ->
+        check_ids "clean" []
+          "let m = Mutex.create ()\n\
+           let n = Atomic.make 0\n\
+           let bump () =\n\
+          \  Mutex.lock m;\n\
+          \  Atomic.incr n;\n\
+          \  Mutex.unlock m\n");
+    tc "a release helper entered with unknown lock state is not flagged"
+      (fun () ->
+        (* The caller may well hold the lock; only a *statically* unlocked
+           path is an error. *)
+        check_ids "clean" []
+          "let m = Mutex.create ()\nlet release () = Mutex.unlock m\n");
+    tc "attribute suppression at the unlock site" (fun () ->
+        check_ids "suppressed" []
+          "let m = Mutex.create ()\n\
+           let run () =\n\
+          \  Mutex.lock m;\n\
+          \  Mutex.unlock m;\n\
+          \  (Mutex.unlock m [@lint.allow \"X002\"])\n");
+  ]
+
+(* ------------------------------------ the deliberately leaking fixture -- *)
+
+let dataflow_fixture_tests =
+  [
+    tc "one leaking function trips all four checks" (fun () ->
+        check_ids "all four"
+          [ (4, "L002"); (5, "X001"); (7, "L001"); (11, "X002") ]
+          "let m = Mutex.create ()\n\
+           let flag = Atomic.make false\n\
+           let leak f =\n\
+          \  Mutex.lock m;\n\
+          \  let saved = Atomic.get flag in\n\
+          \  Atomic.set flag true;\n\
+          \  print_endline \"working\";\n\
+          \  let r = f () in\n\
+          \  Atomic.set flag saved;\n\
+          \  Mutex.unlock m;\n\
+          \  Mutex.unlock m;\n\
+          \  r\n");
+    tc "each finding is individually suppressible" (fun () ->
+        check_ids "all suppressed" []
+          "let m = Mutex.create ()\n\
+           let flag = Atomic.make false\n\
+           let leak f =\n\
+          \  (Mutex.lock m [@lint.allow \"L002\"]);\n\
+          \  let saved = (Atomic.get flag [@lint.allow \"X001\"]) in\n\
+          \  Atomic.set flag true;\n\
+          \  (print_endline \"working\" [@lint.allow \"L001\"]);\n\
+          \  let r = f () in\n\
+          \  Atomic.set flag saved;\n\
+          \  Mutex.unlock m;\n\
+          \  (Mutex.unlock m [@lint.allow \"X002\"]);\n\
+          \  r\n");
+  ]
+
+(* ------------------------- qcheck: lock balance vs a path interpreter -- *)
+
+(* A tiny shape language over one mutex, rendered to source and linted; a
+   reference interpreter enumerates every execution path and decides
+   whether some path exits exceptionally with the lock held — which is
+   exactly L002's claim.  This pits the CFG construction (exceptional
+   edges, try re-joins, Fun.protect inlining, joins at merges) against an
+   independent, obviously-correct semantics. *)
+type shape =
+  | Nop
+  | Lock
+  | Unlock
+  | Raise
+  | Seq of shape * shape
+  | If of shape * shape
+  | Try of shape * shape
+  | Protect of shape * shape  (* body, finally *)
+
+let rec render = function
+  | Nop -> "()"
+  | Lock -> "Mutex.lock m"
+  | Unlock -> "Mutex.unlock m"
+  | Raise -> "raise Exit"
+  | Seq (a, b) -> Printf.sprintf "(%s; %s)" (render a) (render b)
+  | If (a, b) -> Printf.sprintf "(if p then %s else %s)" (render a) (render b)
+  | Try (a, b) -> Printf.sprintf "(try %s with _ -> %s)" (render a) (render b)
+  | Protect (a, f) ->
+      Printf.sprintf "(Fun.protect ~finally:(fun () -> %s) (fun () -> %s))"
+        (render f) (render a)
+
+type outcome = Normal | Exc
+
+(* Every (held, outcome) end state reachable by some path. *)
+let rec eval s held =
+  match s with
+  | Nop -> [ (held, Normal) ]
+  | Lock -> [ (true, Normal) ]
+  | Unlock -> [ (false, Normal) ]
+  | Raise -> [ (held, Exc) ]
+  | Seq (a, b) ->
+      List.concat_map
+        (fun (h, o) -> match o with Normal -> eval b h | Exc -> [ (h, Exc) ])
+        (eval a held)
+  | If (a, b) -> eval a held @ eval b held
+  | Try (a, b) ->
+      List.concat_map
+        (fun (h, o) -> match o with Normal -> [ (h, Normal) ] | Exc -> eval b h)
+        (eval a held)
+  | Protect (a, f) ->
+      List.concat_map
+        (fun (h, o) ->
+          List.map
+            (fun (hf, fo) ->
+              (hf, match (o, fo) with Normal, Normal -> Normal | _ -> Exc))
+            (eval f h))
+        (eval a held)
+
+let shape_gen =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then oneofl [ Nop; Lock; Unlock; Raise ]
+           else
+             frequency
+               [
+                 (2, oneofl [ Nop; Lock; Unlock; Raise ]);
+                 (3, map2 (fun a b -> Seq (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map2 (fun a b -> If (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map2 (fun a b -> Try (a, b)) (self (n / 2)) (self (n / 2)));
+                 ( 1,
+                   map2 (fun a b -> Protect (a, b)) (self (n / 2)) (self (n / 2))
+                 );
+               ]))
+
+let shape_arbitrary = QCheck.make ~print:render shape_gen
+
+let dataflow_qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"L002 agrees with the path interpreter" ~count:300
+         shape_arbitrary (fun s ->
+           let src =
+             "let m = Mutex.create ()\nlet run p = " ^ render s ^ "\n"
+           in
+           let got =
+             List.exists
+               (fun (f : Finding.t) -> f.id = "L002")
+               (findings src)
+           in
+           let want =
+             List.exists (fun (h, o) -> h && o = Exc) (eval s false)
+           in
+           got = want));
+  ]
+
+(* --------------------------------------------- --only/--skip selection -- *)
+
+let select_tests =
+  [
+    tc "empty filters keep the whole catalog in order" (fun () ->
+        Alcotest.(check (result (list string) string))
+          "identity"
+          (Ok (List.map (fun (c : Checks.check_info) -> c.id) Checks.catalog))
+          (Checks.select ~only:[] ~skip:[]));
+    tc "only restricts, in catalog order regardless of input order" (fun () ->
+        Alcotest.(check (result (list string) string))
+          "catalog order"
+          (Ok [ "L001"; "X002" ])
+          (Checks.select ~only:[ "X002"; "L001" ] ~skip:[]));
+    tc "skip removes from the catalog" (fun () ->
+        match Checks.select ~only:[] ~skip:[ "D001"; "H001" ] with
+        | Error e -> Alcotest.failf "unexpected error: %s" e
+        | Ok ids ->
+            Alcotest.(check bool)
+              "removed" true
+              ((not (List.mem "D001" ids)) && not (List.mem "H001" ids));
+            Alcotest.(check bool) "kept the rest" true (List.mem "L002" ids));
+    tc "skip intersects only" (fun () ->
+        Alcotest.(check (result (list string) string))
+          "only minus skip"
+          (Ok [ "L001" ])
+          (Checks.select ~only:[ "L001"; "L002" ] ~skip:[ "L002" ]));
+    tc "unknown IDs are an error" (fun () ->
+        (match Checks.select ~only:[ "Z999" ] ~skip:[] with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error e -> Alcotest.(check bool) "names the ID" true (contains e "Z999"));
+        match Checks.select ~only:[] ~skip:[ "Q000" ] with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error e -> Alcotest.(check bool) "names the ID" true (contains e "Q000"));
+  ]
+
 (* ---------------------------------------------- versioned JSON envelope -- *)
 
 let mk_finding ?(file = "a.ml") ?(line = 1) id =
@@ -586,18 +1020,30 @@ let json_report_tests =
   [
     tc "schema version and check catalog header" (fun () ->
         let s = Lint.report_to_json Lint.empty_report in
-        Alcotest.(check bool) "version" true (contains s "\"schema_version\": 3");
+        Alcotest.(check bool) "version" true (contains s "\"schema_version\": 4");
         Alcotest.(check bool) "catalog has D001" true (contains s "{\"id\": \"D001\"");
         Alcotest.(check bool) "catalog has R003" true (contains s "{\"id\": \"R003\"");
         Alcotest.(check bool) "catalog has E001" true (contains s "{\"id\": \"E001\"");
         Alcotest.(check bool) "catalog has E002" true (contains s "{\"id\": \"E002\"");
         Alcotest.(check bool) "catalog has N001" true (contains s "{\"id\": \"N001\"");
         Alcotest.(check bool) "catalog has N002" true (contains s "{\"id\": \"N002\"");
+        Alcotest.(check bool) "catalog has L001" true (contains s "{\"id\": \"L001\"");
+        Alcotest.(check bool) "catalog has L002" true (contains s "{\"id\": \"L002\"");
+        Alcotest.(check bool) "catalog has X001" true (contains s "{\"id\": \"X001\"");
+        Alcotest.(check bool) "catalog has X002" true (contains s "{\"id\": \"X002\"");
         Alcotest.(check bool) "empty findings" true (contains s "\"findings\": []");
         Alcotest.(check bool)
           "empty suppression block" true
           (contains s "\"suppressed\": {\"total\": 0, \"by_id\": {}}");
         Alcotest.(check bool) "empty errors" true (contains s "\"errors\": []"));
+    tc "an --only filter shrinks the checks array" (fun () ->
+        let s = Lint.report_to_json ~only:[ "L001"; "X002" ] Lint.empty_report in
+        Alcotest.(check bool) "kept L001" true (contains s "{\"id\": \"L001\"");
+        Alcotest.(check bool) "kept X002" true (contains s "{\"id\": \"X002\"");
+        Alcotest.(check bool) "dropped D001" false (contains s "{\"id\": \"D001\"");
+        Alcotest.(check bool) "dropped L002" false (contains s "{\"id\": \"L002\"");
+        let il = index_of s "{\"id\": \"L001\"" and ix = index_of s "{\"id\": \"X002\"" in
+        Alcotest.(check bool) "catalog order preserved" true (il >= 0 && il < ix));
     tc "parse errors are part of the envelope" (fun () ->
         let r =
           {
@@ -861,6 +1307,13 @@ let suites =
     ("lint.r001", r001_tests);
     ("lint.r002", r002_tests);
     ("lint.r003", r003_tests);
+    ("lint.l001", l001_tests);
+    ("lint.l002", l002_tests);
+    ("lint.x001", x001_tests);
+    ("lint.x002", x002_tests);
+    ("lint.dataflow_fixture", dataflow_fixture_tests);
+    ("lint.dataflow_qcheck", dataflow_qcheck_tests);
+    ("lint.select", select_tests);
     ("lint.n001", n001_tests);
     ("lint.n002", n002_tests);
     ("lint.e001", e001_tests);
